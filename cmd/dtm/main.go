@@ -1,0 +1,235 @@
+// Command dtm runs the paper's Dynamic Thermal Management experiments:
+// the thermal-slack analysis (Figure 5), the throttling-ratio sweeps
+// (Figure 7), and the closed-loop policy controllers the paper sketches as
+// future work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/dtm"
+	"repro/internal/scaling"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		slack    = flag.Bool("slack", true, "print the Figure 5 thermal-slack analysis")
+		throttle = flag.Bool("throttle", true, "print the Figure 7 throttling sweeps")
+		policy   = flag.Bool("policy", false, "run the closed-loop DTM policy comparison")
+		requests = flag.Int("requests", 30000, "requests for the policy run")
+	)
+	flag.Parse()
+	if err := run(*slack, *throttle, *policy, *requests); err != nil {
+		fmt.Fprintln(os.Stderr, "dtm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(slack, throttle, policy bool, requests int) error {
+	if slack {
+		if err := runSlack(); err != nil {
+			return err
+		}
+	}
+	if throttle {
+		if err := runThrottle(); err != nil {
+			return err
+		}
+	}
+	if policy {
+		if err := runPolicy(requests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSlack() error {
+	pts, err := dtm.Slack(nil, 1, thermal.DefaultAmbient)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5(a): envelope-design vs VCM-off maximum RPM (1 platter)")
+	for _, p := range pts {
+		fmt.Printf("  %v: %7.0f RPM (VCM on) -> %7.0f RPM (VCM off): slack %6.0f RPM (VCM %.3f W)\n",
+			p.Size, float64(p.EnvelopeRPM), float64(p.VCMOffRPM),
+			float64(p.SlackRPM()), float64(p.VCMPower))
+	}
+
+	fmt.Println("\nFigure 5(b): revised IDR roadmap when the slack is exploited (2.6\")")
+	on, err := scaling.Roadmap(scaling.Config{PlatterSizes: []units.Inches{2.6}})
+	if err != nil {
+		return err
+	}
+	off, err := scaling.Roadmap(scaling.Config{PlatterSizes: []units.Inches{2.6}, VCMOff: true})
+	if err != nil {
+		return err
+	}
+	onIdx, offIdx := scaling.ByYearSize(on), scaling.ByYearSize(off)
+	fmt.Printf("%4s %10s %14s %14s\n", "Year", "target", "envelope IDR", "VCM-off IDR")
+	for y := 2002; y <= 2012; y++ {
+		fmt.Printf("%4d %10.1f %14.1f %14.1f\n",
+			y, float64(scaling.TargetIDR(y)),
+			float64(onIdx[y][2.6].MaxIDR), float64(offIdx[y][2.6].MaxIDR))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runThrottle() error {
+	cases := []struct {
+		name string
+		e    dtm.ThrottleExperiment
+	}{
+		{"Figure 7(a): VCM-only throttling, 2.6\" at 24,534 RPM", dtm.Figure7a()},
+		{"Figure 7(b): VCM+RPM throttling, 37,001 -> 22,001 RPM", dtm.Figure7b()},
+	}
+	for _, c := range cases {
+		fmt.Println(c.name)
+		sweep, err := c.e.Sweep(dtm.DefaultTCools())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8s %10s %8s\n", "t_cool", "t_heat", "ratio")
+		for _, p := range sweep {
+			fmt.Printf("  %8v %10v %8.3f\n", p.TCool, p.THeat.Round(10*time.Millisecond), p.Ratio)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runPolicy(requests int) error {
+	geom := thermal.ReferenceDrive
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		return err
+	}
+	th, err := thermal.New(geom)
+	if err != nil {
+		return err
+	}
+	reqs := policyWorkload(layout.TotalSectors(), requests, 120)
+
+	fmt.Printf("Closed-loop DTM policy comparison (2005 drive, %d random requests at 120/s)\n", requests)
+
+	// Envelope design: 15,020 RPM, no DTM needed.
+	slow, err := disksim.New(disksim.Config{Layout: layout, RPM: 15020})
+	if err != nil {
+		return err
+	}
+	comps, err := slow.Simulate(reqs)
+	if err != nil {
+		return err
+	}
+	var sum time.Duration
+	for _, c := range comps {
+		sum += c.Response()
+	}
+	fmt.Printf("  envelope design @15,020 RPM: mean %.2f ms\n",
+		float64(sum)/float64(len(comps))/float64(time.Millisecond))
+
+	// Average-case design at the 2005 target speed with watermark throttling.
+	fast, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+	if err != nil {
+		return err
+	}
+	ctl := dtm.Controller{Disk: fast, Thermal: th, Mode: dtm.VCMOnly}
+	res, err := ctl.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  average-case @24,534 RPM + throttling: mean %.2f ms, max air %.2f C, "+
+		"%d throttle events (%.1fs paused)\n",
+		res.MeanResponseMillis, float64(res.MaxAirTemp),
+		res.ThrottleEvents, res.ThrottledTime.Seconds())
+
+	// Two-speed slack ramping from the envelope-design base.
+	base, err := disksim.New(disksim.Config{Layout: layout, RPM: 15020})
+	if err != nil {
+		return err
+	}
+	th2, err := thermal.New(geom)
+	if err != nil {
+		return err
+	}
+	ramp := dtm.SlackRamp{Disk: base, Thermal: th2, BoostRPM: 24534}
+	rres, err := ramp.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  two-speed slack ramp 15,020<->24,534: mean %.2f ms, max air %.2f C, "+
+		"%d transitions (%.1fs boosted)\n",
+		rres.MeanResponseMillis, float64(rres.MaxAirTemp),
+		rres.Transitions, rres.BoostedTime.Seconds())
+
+	// DRPM-style multi-level control.
+	multi, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+	if err != nil {
+		return err
+	}
+	th3, err := thermal.New(geom)
+	if err != nil {
+		return err
+	}
+	drpm := dtm.DRPM{
+		Disk:    multi,
+		Thermal: th3,
+		Levels:  []units.RPM{15020, 18000, 21000, 24534},
+	}
+	dres, err := drpm.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  DRPM 4 levels 15,020..24,534: mean %.2f ms, max air %.2f C, %d transitions\n",
+		dres.MeanResponseMillis, float64(dres.MaxAirTemp), dres.Transitions)
+
+	// Mirrored pair with thermally-steered reads (section 5.4).
+	var mdisks [2]*disksim.Disk
+	var mtherm [2]*thermal.Model
+	for i := range mdisks {
+		d, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+		if err != nil {
+			return err
+		}
+		th, err := thermal.New(geom)
+		if err != nil {
+			return err
+		}
+		mdisks[i], mtherm[i] = d, th
+	}
+	mirror := dtm.MirrorPolicy{Disks: mdisks, Thermal: mtherm}
+	mres, err := mirror.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  RAID-1 steered pair @24,534: mean %.2f ms, max member air %.2f C, %d role switches\n",
+		mres.MeanResponseMillis, float64(mres.MaxAirTemp), mres.Switches)
+	return nil
+}
+
+func policyWorkload(total int64, n int, rate float64) []disksim.Request {
+	rng := rand.New(rand.NewSource(11))
+	reqs := make([]disksim.Request, n)
+	now := 0.0
+	for i := range reqs {
+		now += rng.ExpFloat64() / rate
+		reqs[i] = disksim.Request{
+			ID:      int64(i),
+			Arrival: time.Duration(now * float64(time.Second)),
+			LBN:     rng.Int63n(total - 64),
+			Sectors: 8,
+			Write:   rng.Float64() < 0.3,
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates every table and figure of the paper —
+// plus this repository's extension experiments — and prints a
+// paper-vs-measured report (the source for EXPERIMENTS.md).
+//
+// Run everything (the default), or one artifact by id:
+//
+//	go run ./cmd/experiments
+//	go run ./cmd/experiments -only T3
+//	go run ./cmd/experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 150000, "requests per Figure 4 workload (0 = the paper's full counts)")
+		only     = flag.String("only", "", "run a single experiment by id (T1, F2, X3, ...)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	opt := core.Options{Figure4Requests: *requests}
+	if *list {
+		for _, e := range core.Experiments(opt) {
+			fmt.Printf("  %-3s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	start := time.Now()
+	var err error
+	if *only != "" {
+		err = core.RunByID(os.Stdout, *only, opt)
+	} else {
+		err = core.RunAll(os.Stdout, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}

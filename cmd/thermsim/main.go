@@ -1,0 +1,97 @@
+// Command thermsim runs the drive thermal model: the Figure 1 transient
+// (Cheetah 15K.3 warming from ambient to the 45.22 C envelope) by default,
+// or a steady-state / max-RPM query for any geometry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/plot"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		platter  = flag.Float64("platter", 2.6, "platter diameter in inches")
+		platters = flag.Int("platters", 1, "number of platters")
+		rpm      = flag.Float64("rpm", 15000, "spindle speed")
+		duty     = flag.Float64("duty", 1, "VCM duty cycle (1 = always seeking)")
+		ambient  = flag.Float64("ambient", float64(thermal.DefaultAmbient), "external air temperature, C")
+		ff25     = flag.Bool("ff25", false, "use the 2.5-inch enclosure")
+		minutes  = flag.Int("minutes", 150, "transient duration to simulate")
+		steady   = flag.Bool("steady", false, "print only the steady state and max envelope RPM")
+	)
+	flag.Parse()
+
+	ff := geometry.FormFactor35
+	if *ff25 {
+		ff = geometry.FormFactor25
+	}
+	geom := geometry.Drive{
+		PlatterDiameter: units.Inches(*platter),
+		Platters:        *platters,
+		FormFactor:      ff,
+	}
+	m, err := thermal.New(geom)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+	load := thermal.Load{RPM: units.RPM(*rpm), VCMDuty: *duty, Ambient: units.Celsius(*ambient)}
+
+	ss := m.SteadyState(load)
+	fmt.Printf("drive: %v platter x%d in %v enclosure at %v (VCM duty %.2f, ambient %.1f C)\n",
+		geom.PlatterDiameter, geom.Platters, geom.FormFactor, load.RPM, load.VCMDuty, *ambient)
+	fmt.Printf("windage %v, VCM %v, bearing %v\n",
+		thermal.ViscousDissipation(load.RPM, geom.PlatterDiameter, geom.Platters),
+		thermal.VCMPower(geom.PlatterDiameter),
+		thermal.BearingLoss(load.RPM, geom.PlatterDiameter))
+	fmt.Printf("steady state: %s\n", ss)
+	fmt.Printf("max RPM within envelope (%v): %v (VCM on), %v (VCM off)\n",
+		thermal.Envelope,
+		m.MaxRPM(thermal.Envelope, 1, load.Ambient),
+		m.MaxRPM(thermal.Envelope, 0, load.Ambient))
+	if *steady {
+		return
+	}
+
+	fmt.Println("\nFigure 1 transient from a uniform ambient soak:")
+	tr := m.NewTransient(thermal.Uniform(load.Ambient))
+	fmt.Printf("%8s %10s %10s %10s %10s\n", "minute", "air", "spindle", "base", "actuator")
+	minutes2 := make([]float64, 0, *minutes+1)
+	air := make([]float64, 0, *minutes+1)
+	for minute := 0; minute <= *minutes; minute++ {
+		if minute > 0 {
+			tr.Advance(load, time.Minute)
+		}
+		s := tr.State()
+		minutes2 = append(minutes2, float64(minute))
+		air = append(air, float64(s.Air))
+		if minute <= 10 || minute%5 == 0 {
+			fmt.Printf("%8d %10.2f %10.2f %10.2f %10.2f\n",
+				minute, float64(s.Air), float64(s.Spindle), float64(s.Base), float64(s.Actuator))
+		}
+	}
+
+	var c plot.Chart
+	c.Title = "Figure 1: internal air temperature over time"
+	c.XLabel = "minutes"
+	c.YLabel = "C"
+	c.Height = 14
+	if err := c.Add(plot.Series{Name: "T_air", X: minutes2, Y: air}); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+	out, err := c.Render()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Println(out)
+}

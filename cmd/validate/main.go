@@ -1,0 +1,47 @@
+// Command validate reproduces the paper's model-validation tables: Table 1
+// (thirteen real SCSI drives: model capacity and IDR against datasheets) and
+// Table 2 (rated maximum operating temperatures supporting the constant
+// thermal envelope).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/drive"
+	"repro/internal/thermal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Table 1: model capacity and IDR versus datasheets (30 ZBR zones)")
+	fmt.Printf("%-26s %4s %6s %5s %5s %4s %3s | %9s %9s %9s | %9s %9s %9s\n",
+		"Model", "Year", "RPM", "KBPI", "KTPI", "Dia", "Pl",
+		"Cap(GB)", "Model", "Paper", "IDR(MB/s)", "Model", "Paper")
+	for _, v := range drive.Table1 {
+		m, err := drive.New(v.Config())
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.Name, err)
+		}
+		fmt.Printf("%-26s %4d %6.0f %5.0f %5.1f %4.1f %3d | %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n",
+			v.Name, v.Year, float64(v.RPM), v.KBPI, v.KTPI, float64(v.Diameter), v.Platters,
+			v.DatasheetCapacityGB, m.Capacity().GB(), v.PaperModelCapGB,
+			float64(v.DatasheetIDR), float64(m.IDR()), float64(v.PaperModelIDR))
+	}
+
+	fmt.Println("\nTable 2: rated maximum operating temperatures (envelope invariance)")
+	fmt.Printf("%-26s %4s %6s %12s %12s\n", "Model", "Year", "RPM", "Wet-bulb", "Max oper.")
+	for _, e := range drive.Table2 {
+		fmt.Printf("%-26s %4d %6.0f %12.1f %12.1f\n",
+			e.Name, e.Year, float64(e.RPM), float64(e.ExternalWetBulb), float64(e.MaxOperating))
+	}
+	fmt.Printf("\nThermal envelope (electronics excluded): %v\n", thermal.Envelope)
+	fmt.Printf("Envelope + electronics (~%v) ~= the rated 55 C class.\n", drive.ElectronicsDelta)
+	return nil
+}

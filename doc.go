@@ -1,0 +1,9 @@
+// Package repro reproduces "Disk Drive Roadmap from the Thermal Perspective:
+// A Case for Dynamic Thermal Management" (Gurumurthi, Sivasubramaniam,
+// Natarajan; Penn State CSE-05-001 / ISCA 2005) as a Go library.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable entry points are the binaries under cmd/ and the
+// examples under examples/. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper.
+package repro

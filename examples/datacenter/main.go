@@ -1,0 +1,71 @@
+// Datacenter cooling what-if: a storage planner wants to know what buying
+// colder machine-room air is worth in drive performance and capacity over
+// the next decade — the paper's Figure 3 question, asked the way an operator
+// would.
+//
+// Run with:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/scaling"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("How many roadmap years does colder ambient air buy?")
+	fmt.Printf("(thermal envelope %v, 40%% IDR growth target, 1-platter drives)\n\n", thermal.Envelope)
+
+	type option struct {
+		label string
+		delta units.Celsius
+	}
+	options := []option{
+		{"baseline machine room (28 C)", 0},
+		{"improved airflow (23 C)", -5},
+		{"chilled containment (18 C)", -10},
+	}
+
+	for _, opt := range options {
+		pts, err := scaling.Roadmap(scaling.Config{AmbientDelta: opt.delta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		falloff := scaling.FalloffYear(pts)
+		best := scaling.BestIDR(pts)
+		idx := scaling.ByYearSize(pts)
+
+		fmt.Printf("%s\n", opt.label)
+		fmt.Printf("  roadmap holds through %d (falls off %d)\n", falloff-1, falloff)
+		fmt.Printf("  best attainable IDR in 2006: %.0f MB/s (target %.0f)\n",
+			float64(best[2006]), float64(scaling.TargetIDR(2006)))
+
+		// What platter size must the 2005 flagship use, and at what
+		// capacity cost?
+		year := 2005
+		var pick *scaling.Point
+		for _, size := range []units.Inches{2.6, 2.1, 1.6} {
+			p := idx[year][size]
+			if p.MeetsTarget {
+				pick = &p
+				break
+			}
+		}
+		if pick != nil {
+			fmt.Printf("  largest platter meeting the %d target: %v (%.0f GB per platter pair)\n",
+				year, pick.Size, pick.Capacity.GB())
+		} else {
+			fmt.Printf("  no platter size meets the %d target\n", year)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Rule of thumb from the model: every ~5 C of extra cooling buys")
+	fmt.Println("roughly one more year on the 40% data-rate roadmap — but the")
+	fmt.Println("terabit-era ECC cliff (2010) arrives regardless of airflow.")
+}

@@ -1,0 +1,86 @@
+// Quickstart: model one disk drive end to end — capacity, data rate, seek
+// curve and thermal behaviour — using the integrated drive model.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/drive"
+	"repro/internal/geometry"
+	"repro/internal/thermal"
+)
+
+func main() {
+	// A 2002-generation enterprise drive: four 2.6" platters at 15,000 RPM
+	// with that year's recording densities (the Cheetah 15K.3 class).
+	m, err := drive.New(drive.Config{
+		Name: "example-15k",
+		Geometry: geometry.Drive{
+			PlatterDiameter: 2.6,
+			Platters:        4,
+			FormFactor:      geometry.FormFactor35,
+		},
+		BPI:   533000,
+		TPI:   64000,
+		RPM:   15000,
+		Zones: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("drive:", m.Config().Name)
+	fmt.Println("  capacity:       ", m.Capacity())
+	fmt.Println("  max data rate:  ", m.IDR())
+	fmt.Println("  cylinders:      ", m.Layout().Cylinders)
+	fmt.Println("  zones:          ", len(m.Layout().Zones))
+	fmt.Printf("  zone 0 / zone %d sectors per track: %d / %d\n",
+		len(m.Layout().Zones)-1,
+		m.Layout().Zones[0].SectorsPerTrack,
+		m.Layout().Zones[len(m.Layout().Zones)-1].SectorsPerTrack)
+
+	p := m.Seek().Params()
+	fmt.Println("  seek track-to-track / average / full-stroke:",
+		p.TrackToTrack, "/", p.Average, "/", p.FullStroke)
+
+	// Thermal behaviour at the default 28 C ambient.
+	busy := m.SteadyTemperature(1, thermal.DefaultAmbient)
+	idle := m.SteadyTemperature(0, thermal.DefaultAmbient)
+	fmt.Printf("  steady internal air: %.2f C seeking, %.2f C idle (envelope %v)\n",
+		float64(busy), float64(idle), thermal.Envelope)
+	fmt.Println("  within envelope while seeking:", m.WithinEnvelope())
+	if maxRPM := m.MaxEnvelopeRPM(thermal.DefaultAmbient); maxRPM > 0 {
+		fmt.Printf("  max envelope speed for this stack: %v\n", maxRPM)
+	} else {
+		// Four platters of windage exceed the envelope at any speed under
+		// the default ambient; the paper grants such stacks a cooling
+		// budget (section 4).
+		budget, err := thermal.CoolingBudget(m.Config().Geometry, m.Config().RPM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  no speed fits the envelope at 28 C; needs a %.1f C cooling budget at %v\n",
+			float64(budget), m.Config().RPM)
+	}
+
+	// What would this geometry support as a single-platter design?
+	single, err := drive.New(drive.Config{
+		Name: "example-15k-1p",
+		Geometry: geometry.Drive{
+			PlatterDiameter: 2.6,
+			Platters:        1,
+			FormFactor:      geometry.FormFactor35,
+		},
+		BPI: 533000, TPI: 64000, RPM: 15000, Zones: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  single-platter variant: %v capacity, max envelope speed %v\n",
+		single.Capacity(), single.MaxEnvelopeRPM(thermal.DefaultAmbient))
+}

@@ -1,0 +1,223 @@
+// Package array models the thermal environment of a multi-drive chassis:
+// the member drives share one cooling airstream, so each slot's effective
+// ambient is the inlet temperature plus the heat picked up from every
+// upstream drive. This is the disk-array thermal-design concern of Huang &
+// Chung that the paper cites ([28]) — and the reason the paper's per-drive
+// envelope math must be combined with placement when drives are racked.
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/materials"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// CubicFeetPerMinute converts the chassis airflow spec to m^3/s.
+const cubicMetersPerSecondPerCFM = 0.000471947
+
+// Chassis describes the shared cooling path.
+type Chassis struct {
+	// Inlet is the air temperature entering the chassis.
+	Inlet units.Celsius
+
+	// AirflowCFM is the volumetric airflow along the drive bay, in cubic
+	// feet per minute. Typical 1U-3U storage chassis move 10-50 CFM
+	// through the drive cage.
+	AirflowCFM float64
+}
+
+// Validate reports whether the chassis is physical.
+func (c Chassis) Validate() error {
+	if c.AirflowCFM <= 0 {
+		return fmt.Errorf("array: non-positive airflow %.1f CFM", c.AirflowCFM)
+	}
+	return nil
+}
+
+// heatCapacityRate returns the airstream's m*cp in W/K, using air properties
+// at the inlet temperature.
+func (c Chassis) heatCapacityRate() float64 {
+	air := materials.AirAt(c.Inlet)
+	vdot := c.AirflowCFM * cubicMetersPerSecondPerCFM
+	return vdot * air.Density * air.SpecificHeat
+}
+
+// Slot is one drive position along the airstream (index 0 is nearest the
+// inlet).
+type Slot struct {
+	Drive   geometry.Drive
+	RPM     units.RPM
+	VCMDuty float64
+}
+
+// dissipation returns the slot's total heat output in watts.
+func (s Slot) dissipation() units.Watts {
+	duty := s.VCMDuty
+	if duty < 0 {
+		duty = 0
+	} else if duty > 1 {
+		duty = 1
+	}
+	return thermal.ViscousDissipation(s.RPM, s.Drive.PlatterDiameter, s.Drive.Platters) +
+		thermal.BearingLoss(s.RPM, s.Drive.PlatterDiameter) +
+		units.Watts(duty*float64(thermal.VCMPower(s.Drive.PlatterDiameter)))
+}
+
+// SlotState is the thermal outcome for one slot.
+type SlotState struct {
+	// Ambient is the local air temperature the drive's enclosure sees.
+	Ambient units.Celsius
+
+	// Air is the drive's internal air temperature at steady state.
+	Air units.Celsius
+
+	// Dissipation is the heat the drive adds to the airstream.
+	Dissipation units.Watts
+
+	// WithinEnvelope reports Air <= thermal.Envelope.
+	WithinEnvelope bool
+}
+
+// Evaluate computes every slot's local ambient and internal temperature.
+// In the fixed-property model a drive's dissipation is set by its operating
+// point alone, so a single upstream-to-downstream pass is exact.
+func Evaluate(c Chassis, slots []Slot) ([]SlotState, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("array: no slots")
+	}
+	mcp := c.heatCapacityRate()
+	out := make([]SlotState, len(slots))
+	ambient := c.Inlet
+	for i, s := range slots {
+		m, err := thermal.New(s.Drive)
+		if err != nil {
+			return nil, fmt.Errorf("array: slot %d: %w", i, err)
+		}
+		st := m.SteadyState(thermal.Load{RPM: s.RPM, VCMDuty: s.VCMDuty, Ambient: ambient})
+		p := s.dissipation()
+		out[i] = SlotState{
+			Ambient:        ambient,
+			Air:            st.Air,
+			Dissipation:    p,
+			WithinEnvelope: st.Air <= thermal.Envelope,
+		}
+		// Downstream air warms by P/(m*cp).
+		ambient += units.Celsius(float64(p) / mcp)
+	}
+	return out, nil
+}
+
+// HottestAir returns the maximum internal air temperature across slots.
+func HottestAir(states []SlotState) units.Celsius {
+	hot := units.Celsius(math.Inf(-1))
+	for _, s := range states {
+		if s.Air > hot {
+			hot = s.Air
+		}
+	}
+	return hot
+}
+
+// AllWithinEnvelope reports whether every slot respects the envelope.
+func AllWithinEnvelope(states []SlotState) bool {
+	for _, s := range states {
+		if !s.WithinEnvelope {
+			return false
+		}
+	}
+	return true
+}
+
+// OptimalOrder searches slot permutations for the arrangement minimising the
+// hottest internal air temperature. It is exhaustive and intended for the
+// small bays the experiments use (n <= 8).
+func OptimalOrder(c Chassis, slots []Slot) ([]int, []SlotState, error) {
+	n := len(slots)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("array: no slots")
+	}
+	if n > 8 {
+		return nil, nil, fmt.Errorf("array: exhaustive search limited to 8 slots, have %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var bestPerm []int
+	var bestStates []SlotState
+	bestHot := units.Celsius(math.Inf(1))
+
+	arranged := make([]Slot, n)
+	var walk func(k int) error
+	walk = func(k int) error {
+		if k == n {
+			for i, idx := range perm {
+				arranged[i] = slots[idx]
+			}
+			states, err := Evaluate(c, arranged)
+			if err != nil {
+				return err
+			}
+			if hot := HottestAir(states); hot < bestHot {
+				bestHot = hot
+				bestPerm = append([]int(nil), perm...)
+				bestStates = append([]SlotState(nil), states...)
+			}
+			return nil
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := walk(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, nil, err
+	}
+	return bestPerm, bestStates, nil
+}
+
+// MaxInletForEnvelope bisects the highest inlet temperature at which every
+// slot stays within the envelope — the chassis-level cooling requirement.
+func MaxInletForEnvelope(c Chassis, slots []Slot) (units.Celsius, error) {
+	feasible := func(inlet units.Celsius) (bool, error) {
+		cc := c
+		cc.Inlet = inlet
+		states, err := Evaluate(cc, slots)
+		if err != nil {
+			return false, err
+		}
+		return AllWithinEnvelope(states), nil
+	}
+	ok, err := feasible(-30)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("array: configuration infeasible even at -30 C inlet")
+	}
+	lo, hi := -30.0, 60.0
+	for i := 0; i < 40 && hi-lo > 0.01; i++ {
+		mid := (lo + hi) / 2
+		ok, err := feasible(units.Celsius(mid))
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return units.Celsius(lo), nil
+}

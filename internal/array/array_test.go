@@ -1,0 +1,201 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func refSlot(rpm units.RPM, duty float64) Slot {
+	return Slot{
+		Drive:   thermal.ReferenceDrive,
+		RPM:     rpm,
+		VCMDuty: duty,
+	}
+}
+
+func testChassis() Chassis { return Chassis{Inlet: thermal.DefaultAmbient, AirflowCFM: 25} }
+
+func TestValidate(t *testing.T) {
+	if err := (Chassis{AirflowCFM: 0}).Validate(); err == nil {
+		t.Error("zero airflow should be rejected")
+	}
+	if _, err := Evaluate(testChassis(), nil); err == nil {
+		t.Error("empty slot list should be rejected")
+	}
+}
+
+func TestDownstreamRunsHotter(t *testing.T) {
+	slots := []Slot{refSlot(15000, 1), refSlot(15000, 1), refSlot(15000, 1)}
+	states, err := Evaluate(testChassis(), slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].Ambient <= states[i-1].Ambient {
+			t.Errorf("slot %d ambient %v not above upstream %v",
+				i, states[i].Ambient, states[i-1].Ambient)
+		}
+		if states[i].Air <= states[i-1].Air {
+			t.Errorf("slot %d air %v not above upstream %v", i, states[i].Air, states[i-1].Air)
+		}
+	}
+	// The first slot sees the inlet exactly.
+	if states[0].Ambient != thermal.DefaultAmbient {
+		t.Errorf("slot 0 ambient = %v", states[0].Ambient)
+	}
+}
+
+func TestPreheatMatchesEnergyBalance(t *testing.T) {
+	c := testChassis()
+	slots := []Slot{refSlot(15000, 1), refSlot(15000, 1)}
+	states, err := Evaluate(c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1's preheat equals slot 0's dissipation over m*cp.
+	want := float64(states[0].Dissipation) / c.heatCapacityRate()
+	got := float64(states[1].Ambient - states[0].Ambient)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("preheat %v, want %v", got, want)
+	}
+}
+
+func TestMoreAirflowCoolsArray(t *testing.T) {
+	slots := []Slot{refSlot(15000, 1), refSlot(15000, 1), refSlot(15000, 1), refSlot(15000, 1)}
+	weak, err := Evaluate(Chassis{Inlet: 28, AirflowCFM: 8}, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Evaluate(Chassis{Inlet: 28, AirflowCFM: 50}, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HottestAir(strong) >= HottestAir(weak) {
+		t.Errorf("more airflow should cool the hottest slot: %v vs %v",
+			HottestAir(strong), HottestAir(weak))
+	}
+}
+
+func TestEnvelopeAccounting(t *testing.T) {
+	// A single reference drive at its envelope speed passes; a full bay of
+	// them overheats the downstream slots at modest airflow.
+	one, err := Evaluate(testChassis(), []Slot{refSlot(15000, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllWithinEnvelope(one) {
+		t.Errorf("a lone envelope-design drive should pass: %v", one[0].Air)
+	}
+	bay := make([]Slot, 6)
+	for i := range bay {
+		bay[i] = refSlot(15000, 1)
+	}
+	states, err := Evaluate(Chassis{Inlet: 28, AirflowCFM: 6}, bay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AllWithinEnvelope(states) {
+		t.Error("six worst-case drives behind 6 CFM should overheat downstream")
+	}
+}
+
+func TestOptimalOrderBeatsWorst(t *testing.T) {
+	// Mixed bay: two fast hot drives, two slow cool ones.
+	slots := []Slot{
+		refSlot(24534, 1),
+		refSlot(10000, 0.3),
+		refSlot(24534, 1),
+		refSlot(10000, 0.3),
+	}
+	c := Chassis{Inlet: 28, AirflowCFM: 10}
+	perm, best, err := OptimalOrder(c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != len(slots) {
+		t.Fatalf("permutation length %d", len(perm))
+	}
+	seen := map[int]bool{}
+	for _, p := range perm {
+		seen[p] = true
+	}
+	if len(seen) != len(slots) {
+		t.Fatalf("permutation not a bijection: %v", perm)
+	}
+	base, err := Evaluate(c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HottestAir(best) > HottestAir(base) {
+		t.Errorf("optimal order (%v C) worse than identity (%v C)",
+			HottestAir(best), HottestAir(base))
+	}
+	// The optimum puts the hot drives upstream of the cool ones? Verify
+	// it strictly beats the explicitly bad order (hot drives last).
+	bad := []Slot{slots[1], slots[3], slots[0], slots[2]}
+	worst, err := Evaluate(c, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HottestAir(best) >= HottestAir(worst) {
+		t.Errorf("optimal (%v) should beat hot-drives-downstream (%v)",
+			HottestAir(best), HottestAir(worst))
+	}
+}
+
+func TestOptimalOrderLimits(t *testing.T) {
+	if _, _, err := OptimalOrder(testChassis(), nil); err == nil {
+		t.Error("empty bay should be rejected")
+	}
+	big := make([]Slot, 9)
+	for i := range big {
+		big[i] = refSlot(10000, 0)
+	}
+	if _, _, err := OptimalOrder(testChassis(), big); err == nil {
+		t.Error("9 slots should exceed the exhaustive-search limit")
+	}
+}
+
+func TestMaxInletForEnvelope(t *testing.T) {
+	slots := []Slot{refSlot(15000, 1), refSlot(15000, 1)}
+	c := Chassis{Inlet: 28, AirflowCFM: 20}
+	maxInlet, err := MaxInletForEnvelope(c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two envelope-design drives sharing air need a cooler-than-28 inlet
+	// (the downstream one is preheated).
+	if float64(maxInlet) >= 28 {
+		t.Errorf("max inlet %v; downstream preheat should demand below 28 C", maxInlet)
+	}
+	// And the bound is achievable: evaluating at it passes.
+	c.Inlet = maxInlet
+	states, err := Evaluate(c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllWithinEnvelope(states) {
+		t.Error("configuration at the computed max inlet should pass")
+	}
+	// An impossible bay errors.
+	impossible := []Slot{refSlot(60000, 1)}
+	if _, err := MaxInletForEnvelope(c, impossible); err == nil {
+		t.Error("a 60k RPM drive cannot meet the envelope at any inlet above -30 C")
+	}
+}
+
+func TestSlotDissipationClampsDuty(t *testing.T) {
+	over := Slot{Drive: thermal.ReferenceDrive, RPM: 15000, VCMDuty: 5}
+	one := Slot{Drive: thermal.ReferenceDrive, RPM: 15000, VCMDuty: 1}
+	if over.dissipation() != one.dissipation() {
+		t.Error("duty should clamp to [0,1]")
+	}
+	bad := Slot{Drive: geometry.Drive{}, RPM: 15000}
+	if _, err := Evaluate(testChassis(), []Slot{bad}); err == nil {
+		t.Error("invalid drive geometry should be rejected")
+	}
+}

@@ -1,0 +1,323 @@
+package capacity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geometry"
+	"repro/internal/units"
+)
+
+// cheetah153 is the Seagate Cheetah 15K.3 from the paper's Table 1:
+// 533 KBPI, 64 KTPI, 2.6" platters, 4 platters, 30 zones.
+func cheetah153(t *testing.T) *Layout {
+	t.Helper()
+	l, err := New(Config{
+		Geometry: geometry.Drive{PlatterDiameter: 2.6, Platters: 4, FormFactor: geometry.FormFactor35},
+		BPI:      533000,
+		TPI:      64000,
+		Zones:    30,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestCheetah153Capacity(t *testing.T) {
+	l := cheetah153(t)
+	// Paper's model capacity: 74.8 GB. Accept 2%.
+	got := l.DeratedCapacity().GB()
+	if math.Abs(got-74.8)/74.8 > 0.02 {
+		t.Errorf("derated capacity = %.1f GB, want ~74.8 GB", got)
+	}
+}
+
+func TestCheetah153Zone0(t *testing.T) {
+	l := cheetah153(t)
+	// IDR 114.4 MB/s at 15000 RPM implies ~937-950 sectors in zone 0.
+	spt := l.SectorsPerTrackZone0()
+	if spt < 920 || spt < l.Zones[len(l.Zones)-1].SectorsPerTrack {
+		t.Errorf("zone 0 sectors/track = %d, implausible", spt)
+	}
+}
+
+func TestServoBits(t *testing.T) {
+	l := cheetah153(t)
+	// ~27.7k cylinders -> ceil(log2) = 15 bits.
+	if l.ServoBits != 15 {
+		t.Errorf("servo bits = %d, want 15", l.ServoBits)
+	}
+}
+
+func TestECCSelection(t *testing.T) {
+	l := cheetah153(t)
+	if l.ECCFraction != ECCFractionSubTerabit {
+		t.Errorf("sub-terabit drive got ECC fraction %v", l.ECCFraction)
+	}
+	// A terabit-density drive: 1.9 MBPI x 540 KTPI (just past the paper's
+	// 2010 terabit point; 1.85 x 0.54 is 0.999 Tb/in^2, a hair under).
+	lt, err := New(Config{
+		Geometry: geometry.Drive{PlatterDiameter: 1.6, Platters: 1, FormFactor: geometry.FormFactor35},
+		BPI:      1.9e6,
+		TPI:      540000,
+		Zones:    50,
+	})
+	if err != nil {
+		t.Fatalf("terabit layout: %v", err)
+	}
+	if lt.ECCFraction != ECCFractionTerabit {
+		t.Errorf("terabit drive got ECC fraction %v, want %v", lt.ECCFraction, ECCFractionTerabit)
+	}
+}
+
+func TestCapacityOrdering(t *testing.T) {
+	l := cheetah153(t)
+	raw := l.RawCapacity()
+	zbr := l.ZBRCapacity()
+	der := l.DeratedCapacity()
+	if !(der < zbr && zbr < raw) {
+		t.Errorf("capacity ordering violated: derated=%v zbr=%v raw=%v", der, zbr, raw)
+	}
+	// ECC+servo cost ~10% for sub-terabit drives.
+	ratio := float64(der) / float64(zbr)
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("derated/ZBR ratio = %.3f, want ~0.90", ratio)
+	}
+}
+
+func TestZonesMonotone(t *testing.T) {
+	l := cheetah153(t)
+	for i := 1; i < len(l.Zones); i++ {
+		if l.Zones[i].SectorsPerTrack > l.Zones[i-1].SectorsPerTrack {
+			t.Fatalf("zone %d has more sectors than zone %d", i, i-1)
+		}
+		if l.Zones[i].MinTrackBits >= l.Zones[i-1].MinTrackBits {
+			t.Fatalf("zone %d min track bits not decreasing", i)
+		}
+		if l.Zones[i].FirstCylinder != l.Zones[i-1].LastCylinder+1 {
+			t.Fatalf("zone %d not contiguous with zone %d", i, i-1)
+		}
+	}
+	if l.Zones[0].FirstCylinder != 0 {
+		t.Error("zone 0 must start at cylinder 0")
+	}
+	if last := l.Zones[len(l.Zones)-1]; last.LastCylinder != l.Cylinders-1 {
+		t.Errorf("last zone ends at %d, want %d", last.LastCylinder, l.Cylinders-1)
+	}
+}
+
+func TestTrackPerimeterEndpoints(t *testing.T) {
+	l := cheetah153(t)
+	ro := 2 * math.Pi * 1.3
+	ri := 2 * math.Pi * 0.65
+	if got := l.TrackPerimeter(0); math.Abs(got-ro) > 1e-9 {
+		t.Errorf("outermost perimeter = %v, want %v", got, ro)
+	}
+	if got := l.TrackPerimeter(l.Cylinders - 1); math.Abs(got-ri) > 1e-9 {
+		t.Errorf("innermost perimeter = %v, want %v", got, ri)
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	l := cheetah153(t)
+	f := func(raw uint64) bool {
+		lbn := int64(raw % uint64(l.TotalSectors()))
+		loc, err := l.Locate(lbn)
+		if err != nil {
+			return false
+		}
+		back, err := l.LBNOf(loc)
+		return err == nil && back == lbn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateSequentialWithinTrack(t *testing.T) {
+	l := cheetah153(t)
+	a, _ := l.Locate(0)
+	b, _ := l.Locate(1)
+	if a.Cylinder != b.Cylinder || a.Surface != b.Surface || b.Sector != a.Sector+1 {
+		t.Errorf("LBN 0/1 not adjacent on a track: %+v %+v", a, b)
+	}
+	// First LBN of the drive is the outermost cylinder.
+	if a.Cylinder != 0 || a.Surface != 0 || a.Sector != 0 {
+		t.Errorf("LBN 0 at %+v, want origin", a)
+	}
+}
+
+func TestLocateBounds(t *testing.T) {
+	l := cheetah153(t)
+	if _, err := l.Locate(-1); err == nil {
+		t.Error("Locate(-1) should fail")
+	}
+	if _, err := l.Locate(l.TotalSectors()); err == nil {
+		t.Error("Locate(total) should fail")
+	}
+	last, err := l.Locate(l.TotalSectors() - 1)
+	if err != nil {
+		t.Fatalf("Locate(last): %v", err)
+	}
+	if last.Cylinder != l.Cylinders-1 {
+		t.Errorf("last LBN on cylinder %d, want %d", last.Cylinder, l.Cylinders-1)
+	}
+}
+
+func TestLBNOfRejectsBadLocations(t *testing.T) {
+	l := cheetah153(t)
+	bad := []Location{
+		{Cylinder: -1},
+		{Cylinder: l.Cylinders},
+		{Cylinder: 0, Surface: l.Surfaces},
+		{Cylinder: 0, Surface: -1},
+		{Cylinder: 0, Surface: 0, Sector: l.Zones[0].SectorsPerTrack},
+	}
+	for _, loc := range bad {
+		if _, err := l.LBNOf(loc); err == nil {
+			t.Errorf("LBNOf(%+v) should fail", loc)
+		}
+	}
+}
+
+func TestZoneOfCylinder(t *testing.T) {
+	l := cheetah153(t)
+	for _, z := range l.Zones {
+		if got := l.ZoneOfCylinder(z.FirstCylinder); got.Index != z.Index {
+			t.Errorf("ZoneOfCylinder(%d) = zone %d, want %d", z.FirstCylinder, got.Index, z.Index)
+		}
+		if got := l.ZoneOfCylinder(z.LastCylinder); got.Index != z.Index {
+			t.Errorf("ZoneOfCylinder(%d) = zone %d, want %d", z.LastCylinder, got.Index, z.Index)
+		}
+	}
+	if l.ZoneOfCylinder(-1) != nil || l.ZoneOfCylinder(l.Cylinders) != nil {
+		t.Error("out-of-range cylinders should have no zone")
+	}
+}
+
+func TestTotalSectorsConsistent(t *testing.T) {
+	l := cheetah153(t)
+	var sum int64
+	for _, z := range l.Zones {
+		sum += int64(z.Tracks) * int64(l.Surfaces) * int64(z.SectorsPerTrack)
+	}
+	if sum != l.TotalSectors() {
+		t.Errorf("zone sum %d != total %d", sum, l.TotalSectors())
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	good := geometry.Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: geometry.FormFactor35}
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Geometry: geometry.Drive{Platters: 0, PlatterDiameter: 2.6}}, "platters"},
+		{Config{Geometry: good, BPI: 0, TPI: 1000}, "density"},
+		{Config{Geometry: good, BPI: 1000, TPI: -3}, "density"},
+		{Config{Geometry: good, BPI: 533000, TPI: 64000, Zones: -1}, "zone"},
+		{Config{Geometry: good, BPI: 533000, TPI: 64000, StrokeEfficiency: 1.5}, "stroke"},
+		{Config{Geometry: good, BPI: 100, TPI: 10}, "cylinders"},
+	}
+	for _, c := range cases {
+		_, err := New(c.cfg)
+		if err == nil {
+			t.Errorf("New(%+v) succeeded, want error containing %q", c.cfg, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("New error = %v, want substring %q", err, c.want)
+		}
+	}
+}
+
+func TestCapacityScalesWithDensity(t *testing.T) {
+	base := cheetah153(t)
+	denser, err := New(Config{
+		Geometry: base.Config().Geometry,
+		BPI:      base.Config().BPI * 2,
+		TPI:      base.Config().TPI,
+		Zones:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(denser.DeratedCapacity()) / float64(base.DeratedCapacity())
+	// Doubling BPI should roughly double capacity (within rounding).
+	if r < 1.95 || r > 2.05 {
+		t.Errorf("capacity ratio for 2x BPI = %.3f, want ~2", r)
+	}
+}
+
+func TestCapacityScalesWithSurfaces(t *testing.T) {
+	one, err := New(Config{
+		Geometry: geometry.Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: geometry.FormFactor35},
+		BPI:      533000, TPI: 64000, Zones: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := cheetah153(t)
+	r := float64(four.DeratedCapacity()) / float64(one.DeratedCapacity())
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("4-platter/1-platter capacity = %v, want exactly 4", r)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	l := cheetah153(t)
+	b := l.Breakdown()
+	if b.ZBRLoss <= 0 || b.ZBRLoss > 0.5 {
+		t.Errorf("ZBR loss = %.3f, implausible", b.ZBRLoss)
+	}
+	if b.ECCLoss <= b.ServoLoss {
+		t.Error("ECC (10%) should cost more than servo (15 bits/sector)")
+	}
+	total := float64(b.Derated)/float64(b.Raw) + b.ZBRLoss + b.ServoLoss + b.ECCLoss
+	if math.Abs(total-1) > 0.02 {
+		t.Errorf("breakdown fractions sum to %.3f, want ~1", total)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	l, err := New(Config{
+		Geometry: geometry.Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: geometry.FormFactor35},
+		BPI:      533000, TPI: 64000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Zones) != DefaultZones {
+		t.Errorf("default zones = %d, want %d", len(l.Zones), DefaultZones)
+	}
+	cfg := l.Config()
+	if cfg.strokeEfficiency() != DefaultStrokeEfficiency {
+		t.Error("default stroke efficiency not applied")
+	}
+}
+
+func TestPropertyCapacityPositive(t *testing.T) {
+	f := func(bpiK, tpiK uint16, plat uint8, zones uint8) bool {
+		cfg := Config{
+			Geometry: geometry.Drive{
+				PlatterDiameter: 2.6,
+				Platters:        1 + int(plat%4),
+				FormFactor:      geometry.FormFactor35,
+			},
+			BPI:   units.BPI(100000 + int(bpiK)*10),
+			TPI:   units.TPI(10000 + int(tpiK)*10),
+			Zones: 10 + int(zones%50),
+		}
+		l, err := New(cfg)
+		if err != nil {
+			return true // rejected configs are fine
+		}
+		return l.DeratedCapacity() > 0 && l.DeratedCapacity() <= l.RawCapacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package disksim is an event-driven single-disk simulator — this
+// repository's substitute for the DiskSim 2.0 installation the paper drives
+// its Figure 4 study with. It models the mechanical service path (seek,
+// rotational latency, zoned multi-track transfer), a segmented read cache
+// with prefetch, controller overhead, and FCFS/SSTF/SPTF queueing, on top of
+// the capacity model's exact ZBR layout.
+package disksim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Request is one disk I/O.
+type Request struct {
+	// ID correlates completions with submissions (and RAID sub-requests
+	// with their parent volume request).
+	ID int64
+
+	// Arrival is the submission time relative to simulation start.
+	Arrival time.Duration
+
+	// LBN is the first logical block (512-byte sector) address.
+	LBN int64
+
+	// Sectors is the transfer length.
+	Sectors int
+
+	// Write marks a write (writes bypass the read cache and invalidate
+	// overlapping segments).
+	Write bool
+}
+
+// Validate reports whether the request is well-formed for a disk with
+// totalSectors addressable blocks.
+func (r Request) Validate(totalSectors int64) error {
+	if r.Sectors <= 0 {
+		return fmt.Errorf("disksim: request %d has %d sectors", r.ID, r.Sectors)
+	}
+	if r.LBN < 0 || r.LBN+int64(r.Sectors) > totalSectors {
+		return fmt.Errorf("disksim: request %d range [%d,%d) outside [0,%d)",
+			r.ID, r.LBN, r.LBN+int64(r.Sectors), totalSectors)
+	}
+	if r.Arrival < 0 {
+		return fmt.Errorf("disksim: request %d arrives before time zero", r.ID)
+	}
+	return nil
+}
+
+// Breakdown decomposes a request's service time.
+type Breakdown struct {
+	Queue    time.Duration // waiting for the disk to become free
+	Overhead time.Duration // controller/bus command overhead
+	Seek     time.Duration // actuator movement
+	Rotation time.Duration // rotational latency
+	Transfer time.Duration // media (or bus, for cache hits) transfer
+}
+
+// Completion is the outcome of one request.
+type Completion struct {
+	Request  Request
+	Start    time.Duration // when the disk began servicing it
+	Finish   time.Duration // when the last byte moved
+	CacheHit bool
+	// Retried marks a thermally-induced off-track retry (one extra
+	// revolution was spent re-reading).
+	Retried bool
+	Parts   Breakdown
+}
+
+// Response returns the end-to-end response time (arrival to finish).
+func (c Completion) Response() time.Duration { return c.Finish - c.Request.Arrival }

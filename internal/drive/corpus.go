@@ -1,0 +1,87 @@
+package drive
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/units"
+)
+
+// ValidationDrive is one row of the paper's Table 1: a real SCSI drive with
+// its datasheet figures and the paper's own model predictions.
+type ValidationDrive struct {
+	Name     string
+	Year     int
+	RPM      units.RPM
+	KBPI     float64 // thousands of bits per inch
+	KTPI     float64 // thousands of tracks per inch
+	Diameter units.Inches
+	Platters int
+
+	DatasheetCapacityGB float64 // manufacturer capacity (decimal-marketing GB as printed)
+	PaperModelCapGB     float64 // the paper's model prediction
+	DatasheetIDR        units.MBPerSec
+	PaperModelIDR       units.MBPerSec
+}
+
+// Config converts the corpus row into a drive configuration
+// (Table 1 assumes 30 ZBR zones for every drive).
+func (v ValidationDrive) Config() Config {
+	ff := geometry.FormFactor35
+	if v.Platters > 8 {
+		ff = geometry.FormFactor35Tall // 1.6"-height full-size drives
+	}
+	return Config{
+		Name: v.Name,
+		Geometry: geometry.Drive{
+			PlatterDiameter: v.Diameter,
+			Platters:        v.Platters,
+			FormFactor:      ff,
+		},
+		BPI:   units.BPI(v.KBPI * 1000),
+		TPI:   units.TPI(v.KTPI * 1000),
+		RPM:   v.RPM,
+		Zones: 30,
+	}
+}
+
+// Table1 is the paper's thirteen-drive validation corpus.
+var Table1 = []ValidationDrive{
+	{"Quantum Atlas 10K", 1999, 10000, 256, 13.0, 3.3, 6, 18, 17.6, 39.3, 46.5},
+	{"IBM Ultrastar 36LZX", 1999, 10000, 352, 20.0, 3.0, 6, 36, 30.8, 56.5, 58.1},
+	{"Seagate Cheetah X15", 2000, 15000, 343, 21.4, 2.6, 5, 18, 20.1, 63.5, 73.6},
+	{"Quantum Atlas 10K II", 2000, 10000, 341, 14.2, 3.3, 3, 18, 12.8, 59.8, 61.9},
+	{"IBM Ultrastar 36Z15", 2001, 15000, 397, 27.0, 2.6, 6, 36, 35.2, 80.9, 72.1},
+	{"IBM Ultrastar 73LZX", 2001, 10000, 480, 27.3, 3.3, 3, 36, 34.7, 86.3, 85.2},
+	{"Seagate Barracuda 180", 2001, 7200, 490, 31.2, 3.7, 12, 180, 203.5, 63.5, 71.8},
+	{"Fujitsu AL-7LX", 2001, 15000, 450, 35.0, 2.7, 4, 36, 37.2, 91.8, 100.3},
+	{"Seagate Cheetah X15-36LP", 2001, 15000, 482, 38.0, 2.6, 4, 36, 40.1, 88.6, 103.4},
+	{"Seagate Cheetah 73LP", 2001, 10000, 485, 38.0, 3.3, 4, 73, 65.1, 83.9, 88.1},
+	{"Fujitsu AL-7LE", 2001, 10000, 485, 39.5, 3.3, 4, 73, 67.6, 84.1, 88.1},
+	{"Seagate Cheetah 10K.6", 2002, 10000, 570, 64.0, 3.3, 4, 146, 128.8, 105.1, 103.5},
+	{"Seagate Cheetah 15K.3", 2002, 15000, 533, 64.0, 2.6, 4, 73, 74.8, 111.4, 114.4},
+}
+
+// EnvelopeDrive is one row of the paper's Table 2: the rated maximum
+// operating temperature at a specified external wet-bulb temperature.
+type EnvelopeDrive struct {
+	Name            string
+	Year            int
+	RPM             units.RPM
+	ExternalWetBulb units.Celsius
+	MaxOperating    units.Celsius
+}
+
+// Table2 shows that the rated envelope is essentially invariant over years
+// and RPM classes — the basis for holding the 45.22 C internal-air envelope
+// constant across the roadmap.
+var Table2 = []EnvelopeDrive{
+	{"IBM Ultrastar 36LZX", 1999, 10000, 29.4, 50},
+	{"Seagate Cheetah X15", 2000, 15000, 28.0, 55},
+	{"IBM Ultrastar 36Z15", 2001, 15000, 29.4, 55},
+	{"Seagate Barracuda 180", 2001, 7200, 28.0, 50},
+}
+
+// ElectronicsDelta is the additional internal temperature contributed by
+// on-board electronics that the thermal model deliberately excludes (about
+// 10 C per Huang & Chung, cited in section 3.3). Envelope + ElectronicsDelta
+// ~= the rated 55 C maximum operating temperature of the Cheetah 15K.3.
+const ElectronicsDelta units.Celsius = 10

@@ -1,0 +1,116 @@
+// Package drive ties the capacity, performance and thermal models together
+// into a single integrated disk-drive model — the paper's central artifact.
+// A drive.Model answers, for one physical configuration: how many sectors it
+// stores, how fast it seeks and streams, and how hot it runs at a given
+// operating point.
+package drive
+
+import (
+	"fmt"
+
+	"repro/internal/capacity"
+	"repro/internal/geometry"
+	"repro/internal/perf"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Config specifies one drive.
+type Config struct {
+	// Name labels the drive in reports.
+	Name string
+
+	// Geometry fixes platter size/count and enclosure.
+	Geometry geometry.Drive
+
+	// BPI and TPI are the recording densities.
+	BPI units.BPI
+	TPI units.TPI
+
+	// RPM is the nominal spindle speed.
+	RPM units.RPM
+
+	// Zones is the ZBR zone count (0 = capacity.DefaultZones).
+	Zones int
+
+	// Seek optionally overrides the platter-size-interpolated seek
+	// parameters (zero value = derive from platter diameter).
+	Seek perf.SeekParams
+}
+
+// Model is a fully derived drive.
+type Model struct {
+	cfg     Config
+	layout  *capacity.Layout
+	seek    *perf.SeekModel
+	thermal *thermal.Model
+}
+
+// New derives the integrated model for a configuration.
+func New(cfg Config) (*Model, error) {
+	if cfg.RPM <= 0 {
+		return nil, fmt.Errorf("drive %q: non-positive RPM %v", cfg.Name, cfg.RPM)
+	}
+	layout, err := capacity.New(capacity.Config{
+		Geometry: cfg.Geometry,
+		BPI:      cfg.BPI,
+		TPI:      cfg.TPI,
+		Zones:    cfg.Zones,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("drive %q: %w", cfg.Name, err)
+	}
+	sp := cfg.Seek
+	if sp == (perf.SeekParams{}) {
+		sp = perf.SeekParamsForPlatter(cfg.Geometry.PlatterDiameter)
+	}
+	seek, err := perf.NewSeekModel(sp, layout.Cylinders)
+	if err != nil {
+		return nil, fmt.Errorf("drive %q: %w", cfg.Name, err)
+	}
+	th, err := thermal.New(cfg.Geometry)
+	if err != nil {
+		return nil, fmt.Errorf("drive %q: %w", cfg.Name, err)
+	}
+	return &Model{cfg: cfg, layout: layout, seek: seek, thermal: th}, nil
+}
+
+// Config returns the drive's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Layout exposes the recording layout (zones, sector mapping).
+func (m *Model) Layout() *capacity.Layout { return m.layout }
+
+// Seek exposes the seek-time model.
+func (m *Model) Seek() *perf.SeekModel { return m.seek }
+
+// Thermal exposes the thermal model.
+func (m *Model) Thermal() *thermal.Model { return m.thermal }
+
+// Capacity returns the derated usable capacity.
+func (m *Model) Capacity() units.Bytes { return m.layout.DeratedCapacity() }
+
+// IDR returns the maximum internal data rate at the nominal RPM.
+func (m *Model) IDR() units.MBPerSec { return perf.IDR(m.layout, m.cfg.RPM) }
+
+// IDRAt returns the IDR at an arbitrary spindle speed.
+func (m *Model) IDRAt(rpm units.RPM) units.MBPerSec { return perf.IDR(m.layout, rpm) }
+
+// SteadyTemperature returns the steady internal-air temperature under a load
+// at the nominal RPM.
+func (m *Model) SteadyTemperature(vcmDuty float64, ambient units.Celsius) units.Celsius {
+	st := m.thermal.SteadyState(thermal.Load{RPM: m.cfg.RPM, VCMDuty: vcmDuty, Ambient: ambient})
+	return st.Air
+}
+
+// WithinEnvelope reports whether the drive's worst-case (VCM always on)
+// steady temperature respects the thermal envelope at the default ambient.
+func (m *Model) WithinEnvelope() bool {
+	return m.SteadyTemperature(1, thermal.DefaultAmbient) <= thermal.Envelope
+}
+
+// MaxEnvelopeRPM returns the highest spindle speed this geometry supports
+// within the envelope under worst-case seeking at the given ambient.
+func (m *Model) MaxEnvelopeRPM(ambient units.Celsius) units.RPM {
+	return m.thermal.MaxRPM(thermal.Envelope, 1, ambient)
+}

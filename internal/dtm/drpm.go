@@ -1,0 +1,178 @@
+package dtm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// DRPM is a multi-speed policy in the style of the authors' earlier DRPM
+// work (ISCA'03), which the paper cites as the enabling mechanism for
+// full-granularity thermal control: the disk services requests at any of
+// several speed levels, and the controller walks the level ladder — down
+// when the internal air nears the envelope, up when thermal slack opens.
+// Unlike the two-speed throttling of Figure 6(b), requests keep flowing at
+// reduced speed instead of stopping entirely.
+type DRPM struct {
+	// Disk services the requests; its initial speed must be one of Levels.
+	Disk *disksim.Disk
+
+	// Thermal is the drive's thermal model.
+	Thermal *thermal.Model
+
+	// Levels are the available spindle speeds, any order (sorted on Run).
+	Levels []units.RPM
+
+	// StepDownAt is the air temperature that forces a step down
+	// (0 = envelope - 0.05).
+	StepDownAt units.Celsius
+
+	// StepUpBelow is the air temperature that allows a step up
+	// (0 = envelope - 2).
+	StepUpBelow units.Celsius
+
+	// Ambient is the external temperature (0 = default).
+	Ambient units.Celsius
+
+	// Transition is the time one level change takes (0 = 2 s).
+	Transition time.Duration
+
+	// Initial optionally warm-starts the thermal state.
+	Initial *thermal.State
+}
+
+// DRPMResult summarises a run.
+type DRPMResult struct {
+	MeanResponseMillis float64
+	P95ResponseMillis  float64
+	MaxAirTemp         units.Celsius
+
+	// Transitions counts level changes; TimeAtLevel maps each speed to
+	// the busy+idle time spent there.
+	Transitions int
+	TimeAtLevel map[units.RPM]time.Duration
+
+	Elapsed time.Duration
+}
+
+func (p *DRPM) stepDownAt() units.Celsius {
+	if p.StepDownAt == 0 {
+		return thermal.Envelope - 0.05
+	}
+	return p.StepDownAt
+}
+
+func (p *DRPM) stepUpBelow() units.Celsius {
+	if p.StepUpBelow == 0 {
+		return thermal.Envelope - 2
+	}
+	return p.StepUpBelow
+}
+
+func (p *DRPM) ambient() units.Celsius {
+	if p.Ambient == 0 {
+		return thermal.DefaultAmbient
+	}
+	return p.Ambient
+}
+
+func (p *DRPM) transition() time.Duration {
+	if p.Transition == 0 {
+		return 2 * time.Second
+	}
+	return p.Transition
+}
+
+// Run services requests (sorted by arrival) under the level-walking policy.
+func (p *DRPM) Run(reqs []disksim.Request) (DRPMResult, error) {
+	if p.Disk == nil || p.Thermal == nil {
+		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs a disk and a thermal model")
+	}
+	if len(p.Levels) < 2 {
+		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs at least 2 levels, have %d", len(p.Levels))
+	}
+	levels := append([]units.RPM(nil), p.Levels...)
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	level := -1
+	for i, l := range levels {
+		if l == p.Disk.RPM() {
+			level = i
+			break
+		}
+	}
+	if level < 0 {
+		return DRPMResult{}, fmt.Errorf("dtm: disk speed %v is not a configured level", p.Disk.RPM())
+	}
+
+	amb := p.ambient()
+	start0 := thermal.Uniform(amb)
+	if p.Initial != nil {
+		start0 = *p.Initial
+	}
+	tr := p.Thermal.NewTransient(start0)
+	clock := time.Duration(0)
+
+	res := DRPMResult{TimeAtLevel: make(map[units.RPM]time.Duration, len(levels))}
+	var sample stats.Sample
+	maxT := start0.Air
+
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			d := to - clock
+			tr.Advance(thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}, d)
+			res.TimeAtLevel[levels[level]] += d
+			clock = to
+		}
+		if a := tr.State().Air; a > maxT {
+			maxT = a
+		}
+	}
+
+	for _, r := range reqs {
+		start := r.Arrival
+		if rt := p.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		advance(start, 0)
+
+		// Walk the ladder between requests.
+		switch air := tr.State().Air; {
+		case air >= p.stepDownAt() && level > 0:
+			level--
+			res.Transitions++
+			clock += p.transition()
+			p.Disk.Delay(clock)
+			if err := p.Disk.SetRPM(levels[level]); err != nil {
+				return DRPMResult{}, err
+			}
+		case air <= p.stepUpBelow() && level < len(levels)-1:
+			level++
+			res.Transitions++
+			clock += p.transition()
+			p.Disk.Delay(clock)
+			if err := p.Disk.SetRPM(levels[level]); err != nil {
+				return DRPMResult{}, err
+			}
+		}
+
+		comp, err := p.Disk.Serve(r)
+		if err != nil {
+			return DRPMResult{}, err
+		}
+		advance(comp.Finish, 1)
+		sample.Add(comp.Response())
+		if comp.Finish > res.Elapsed {
+			res.Elapsed = comp.Finish
+		}
+	}
+
+	res.MeanResponseMillis = sample.Mean()
+	res.P95ResponseMillis = sample.Percentile(95)
+	res.MaxAirTemp = maxT
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package dtm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/scaling"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// buildMirror builds two identical average-case members.
+func buildMirror(t *testing.T, rpm units.RPM) ([2]*disksim.Disk, [2]*thermal.Model) {
+	t.Helper()
+	var disks [2]*disksim.Disk
+	var models [2]*thermal.Model
+	for i := 0; i < 2; i++ {
+		d, th := buildDTMDisk(t, rpm)
+		disks[i], models[i] = d, th
+	}
+	return disks, models
+}
+
+func TestMirrorConfigErrors(t *testing.T) {
+	if _, err := (&MirrorPolicy{}).Run(nil); err == nil {
+		t.Error("empty mirror should be rejected")
+	}
+}
+
+func TestMirrorServesEverythingWithinEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long thermal-coupled run")
+	}
+	disks, models := buildMirror(t, 24534)
+	// Warm start near the envelope so steering actually engages.
+	warm := models[0].SteadyState(thermal.Load{RPM: 24534, VCMDuty: 0.6, Ambient: thermal.DefaultAmbient})
+	p := MirrorPolicy{Disks: disks, Thermal: models, Initial: &warm}
+	reqs := dtmWorkload(t, disks[0].Layout().TotalSectors(), 20000, 160)
+	res, err := p.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads+res.Writes != len(reqs) {
+		t.Errorf("served %d of %d", res.Reads+res.Writes, len(reqs))
+	}
+	// The policy holds both members near the envelope: allow the guard
+	// band plus the per-service overshoot.
+	if float64(res.MaxAirTemp) > float64(thermal.Envelope)+0.2 {
+		t.Errorf("mirror member reached %.2f C", float64(res.MaxAirTemp))
+	}
+	if res.MeanResponseMillis <= 0 {
+		t.Error("no response statistics")
+	}
+}
+
+func TestMirrorSwitchesUnderSustainedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long thermal-coupled run")
+	}
+	disks, models := buildMirror(t, 24534)
+	warm := models[0].SteadyState(thermal.Load{RPM: 24534, VCMDuty: 0.62, Ambient: thermal.DefaultAmbient})
+	p := MirrorPolicy{Disks: disks, Thermal: models, Initial: &warm}
+	// A read-heavy sustained stream: the active member heats, the standby
+	// cools, roles alternate.
+	reqs := dtmWorkload(t, disks[0].Layout().TotalSectors(), 40000, 170)
+	for i := range reqs {
+		reqs[i].Write = i%10 == 0 // 90% reads
+	}
+	res, err := p.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches == 0 {
+		t.Error("sustained near-envelope load should force read steering to switch")
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("mix lost: %d reads, %d writes", res.Reads, res.Writes)
+	}
+}
+
+func TestMirrorWriteGatesOnSlowerMember(t *testing.T) {
+	disks, models := buildMirror(t, 15020)
+	// Pre-position member 1's head far away by serving one distant read.
+	far := disks[1].Layout().TotalSectors() - 100
+	if _, err := disks[1].Serve(disksim.Request{ID: 999, LBN: far, Sectors: 8}); err != nil {
+		t.Fatal(err)
+	}
+	p := MirrorPolicy{Disks: disks, Thermal: models}
+	res, err := p.Run([]disksim.Request{
+		{ID: 1, Arrival: time.Second, LBN: 0, Sectors: 8, Write: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 1 {
+		t.Fatalf("writes = %d", res.Writes)
+	}
+	// Both disks must have served it.
+	if disks[0].Served() != 1 || disks[1].Served() != 2 {
+		t.Errorf("served counts: %d, %d", disks[0].Served(), disks[1].Served())
+	}
+}
+
+func TestMirrorMismatchedMembersRejected(t *testing.T) {
+	d0, th0 := buildDTMDisk(t, 24534)
+	d1, th1 := mismatchedDisk(t)
+	p := MirrorPolicy{Disks: [2]*disksim.Disk{d0, d1}, Thermal: [2]*thermal.Model{th0, th1}}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("mismatched members should be rejected")
+	}
+}
+
+// mismatchedDisk builds a member with a different capacity (2002 densities).
+func mismatchedDisk(t *testing.T) (*disksim.Disk, *thermal.Model) {
+	t.Helper()
+	geom := thermal.ReferenceDrive
+	bpi, tpi := scaling.DefaultTrend().Densities(2002)
+	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thermal.New(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, th
+}

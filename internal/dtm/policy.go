@@ -1,0 +1,344 @@
+package dtm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Controller is a closed-loop DTM policy coupling one disk's request stream
+// to its thermal transient — the control layer the paper's section 5.4
+// sketches as future work. The disk runs at an average-case speed whose
+// worst case violates the envelope; the controller watches the internal air
+// temperature and gates request admission (and optionally drops the spindle
+// speed) whenever the drive approaches the envelope.
+type Controller struct {
+	// Disk services the requests. Its RPM is the high (service) speed.
+	Disk *disksim.Disk
+
+	// Thermal is the drive's thermal model.
+	Thermal *thermal.Model
+
+	// Mode selects VCM-only or dual-speed throttling.
+	Mode ThrottleMode
+
+	// LowRPM is the cool-down speed for VCMAndRPM.
+	LowRPM units.RPM
+
+	// Envelope is the temperature that must never be exceeded
+	// (0 = thermal.Envelope).
+	Envelope units.Celsius
+
+	// Guard is how far below the envelope the controller begins throttling
+	// (default 0.05 C).
+	Guard units.Celsius
+
+	// Hysteresis is how far below the envelope the drive must cool before
+	// requests resume (default 0.5 C).
+	Hysteresis units.Celsius
+
+	// Ambient is the external temperature (0 = default 28 C).
+	Ambient units.Celsius
+
+	// SpinTransition is the time an RPM change takes in VCMAndRPM mode
+	// (default 2 s, in line with published two-speed drive data).
+	SpinTransition time.Duration
+
+	// Initial optionally sets the starting thermal state (nil = the drive
+	// soaked at ambient). Warm starts model a drive that has already been
+	// under load when the measured interval begins.
+	Initial *thermal.State
+
+	// SeekDuty, when set, charges the VCM only for each request's actual
+	// seek time instead of the whole service time. The default (false) is
+	// conservative: the thermal controller sees the worst-case duty the
+	// envelope is defined against.
+	SeekDuty bool
+}
+
+// Result summarises a controlled run.
+type Result struct {
+	// Completions per request, in service order.
+	Completions []disksim.Completion
+
+	// MeanResponseMillis and P95ResponseMillis summarise response times.
+	MeanResponseMillis float64
+	P95ResponseMillis  float64
+
+	// MaxAirTemp is the hottest internal air temperature observed.
+	MaxAirTemp units.Celsius
+
+	// ThrottleEvents counts cooling pauses; ThrottledTime is their total
+	// duration.
+	ThrottleEvents int
+	ThrottledTime  time.Duration
+
+	// Elapsed is the simulated time from first arrival to last completion.
+	Elapsed time.Duration
+}
+
+func (c *Controller) envelope() units.Celsius {
+	if c.Envelope == 0 {
+		return thermal.Envelope
+	}
+	return c.Envelope
+}
+
+func (c *Controller) ambient() units.Celsius {
+	if c.Ambient == 0 {
+		return thermal.DefaultAmbient
+	}
+	return c.Ambient
+}
+
+func (c *Controller) guard() units.Celsius {
+	if c.Guard == 0 {
+		return 0.05
+	}
+	return c.Guard
+}
+
+func (c *Controller) hysteresis() units.Celsius {
+	if c.Hysteresis == 0 {
+		return 0.5
+	}
+	return c.Hysteresis
+}
+
+func (c *Controller) spinTransition() time.Duration {
+	if c.SpinTransition == 0 {
+		return 2 * time.Second
+	}
+	return c.SpinTransition
+}
+
+// coolLimit caps one cooling pause.
+const coolLimit = 10 * time.Minute
+
+// Run services the requests (which must be sorted by arrival; FCFS) under
+// the thermal policy, starting from the drive soaked at ambient.
+func (c *Controller) Run(reqs []disksim.Request) (Result, error) {
+	if c.Disk == nil || c.Thermal == nil {
+		return Result{}, fmt.Errorf("dtm: controller needs a disk and a thermal model")
+	}
+	if c.Mode == VCMAndRPM && (c.LowRPM <= 0 || c.LowRPM >= c.Disk.RPM()) {
+		return Result{}, fmt.Errorf("dtm: low speed %v must be below service speed %v", c.LowRPM, c.Disk.RPM())
+	}
+	highRPM := c.Disk.RPM()
+	env := c.envelope()
+	amb := c.ambient()
+	guardAt := env - c.guard()
+	resumeAt := env - c.hysteresis()
+
+	idleLoad := thermal.Load{RPM: highRPM, VCMDuty: 0, Ambient: amb}
+	busyLoad := thermal.Load{RPM: highRPM, VCMDuty: 1, Ambient: amb}
+	coolDown := idleLoad
+	if c.Mode == VCMAndRPM {
+		coolDown.RPM = c.LowRPM
+	}
+
+	start0 := thermal.Uniform(amb)
+	if c.Initial != nil {
+		start0 = *c.Initial
+	}
+	tr := c.Thermal.NewTransient(start0)
+	clock := time.Duration(0) // thermal clock, tracks disk time
+
+	advance := func(to time.Duration, load thermal.Load) {
+		if to > clock {
+			tr.Advance(load, to-clock)
+			clock = to
+		}
+	}
+
+	var res Result
+	var sample stats.Sample
+	maxT := start0.Air
+	note := func() {
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	for _, r := range reqs {
+		start := r.Arrival
+		if rt := c.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		// Idle (or queued-but-not-seeking) period up to the service start.
+		advance(start, idleLoad)
+		note()
+
+		// Throttle if the drive is at the guard band.
+		if tr.State().Air >= guardAt {
+			res.ThrottleEvents++
+			pause, _ := tr.AdvanceUntil(coolDown, coolLimit,
+				func(s thermal.State) bool { return s.Air <= resumeAt })
+			if c.Mode == VCMAndRPM {
+				pause += 2 * c.spinTransition() // down and back up
+			}
+			clock += pause
+			res.ThrottledTime += pause
+			start = clock
+			c.Disk.Delay(start)
+		}
+
+		comp, err := c.Disk.Serve(r)
+		if err != nil {
+			return Result{}, err
+		}
+		load := busyLoad
+		if c.SeekDuty {
+			if svc := comp.Finish - comp.Start; svc > 0 {
+				load.VCMDuty = float64(comp.Parts.Seek) / float64(svc)
+			}
+		}
+		advance(comp.Finish, load)
+		note()
+		sample.Add(comp.Response())
+		res.Completions = append(res.Completions, comp)
+	}
+
+	res.MeanResponseMillis = sample.Mean()
+	res.P95ResponseMillis = sample.Percentile(95)
+	res.MaxAirTemp = maxT
+	if n := len(res.Completions); n > 0 {
+		res.Elapsed = res.Completions[n-1].Finish - reqs[0].Arrival
+	}
+	return res, nil
+}
+
+// SlackRamp is the first DTM mechanism (section 5.2) as a closed-loop
+// policy: a two-speed disk runs at its envelope-design speed and ramps to a
+// higher speed whenever the measured temperature leaves enough slack,
+// dropping back as the envelope nears.
+type SlackRamp struct {
+	// Disk services requests; its initial speed is the base speed.
+	Disk *disksim.Disk
+
+	// Thermal is the drive's thermal model.
+	Thermal *thermal.Model
+
+	// BoostRPM is the higher of the two speeds.
+	BoostRPM units.RPM
+
+	// RampAt is the temperature below which the controller boosts
+	// (default envelope - 2 C).
+	RampAt units.Celsius
+
+	// DropAt is the temperature at which it falls back
+	// (default envelope - 0.2 C).
+	DropAt units.Celsius
+
+	// Ambient is the external temperature (0 = default).
+	Ambient units.Celsius
+
+	// SpinTransition is the speed-change time (default 2 s).
+	SpinTransition time.Duration
+}
+
+// RampResult summarises a slack-ramp run.
+type RampResult struct {
+	MeanResponseMillis float64
+	MaxAirTemp         units.Celsius
+	BoostedTime        time.Duration
+	Transitions        int
+	Elapsed            time.Duration
+}
+
+// Run services the requests under the slack-ramping policy.
+func (s *SlackRamp) Run(reqs []disksim.Request) (RampResult, error) {
+	if s.Disk == nil || s.Thermal == nil {
+		return RampResult{}, fmt.Errorf("dtm: ramp needs a disk and a thermal model")
+	}
+	base := s.Disk.RPM()
+	if s.BoostRPM <= base {
+		return RampResult{}, fmt.Errorf("dtm: boost %v must exceed base %v", s.BoostRPM, base)
+	}
+	amb := s.Ambient
+	if amb == 0 {
+		amb = thermal.DefaultAmbient
+	}
+	rampAt := s.RampAt
+	if rampAt == 0 {
+		rampAt = thermal.Envelope - 2
+	}
+	dropAt := s.DropAt
+	if dropAt == 0 {
+		dropAt = thermal.Envelope - 0.2
+	}
+	trans := s.SpinTransition
+	if trans == 0 {
+		trans = 2 * time.Second
+	}
+
+	tr := s.Thermal.NewTransient(thermal.Uniform(amb))
+	clock := time.Duration(0)
+	boosted := false
+	var res RampResult
+	var sample stats.Sample
+	maxT := units.Celsius(amb)
+
+	load := func(duty float64) thermal.Load {
+		rpm := base
+		if boosted {
+			rpm = s.BoostRPM
+		}
+		return thermal.Load{RPM: rpm, VCMDuty: duty, Ambient: amb}
+	}
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			tr.Advance(load(duty), to-clock)
+			clock = to
+		}
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	for _, r := range reqs {
+		start := r.Arrival
+		if rt := s.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		advance(start, 0)
+
+		// Speed decisions happen between requests.
+		switch air := tr.State().Air; {
+		case !boosted && air <= rampAt:
+			boosted = true
+			res.Transitions++
+			clock += trans
+			s.Disk.Delay(clock)
+			if err := s.Disk.SetRPM(s.BoostRPM); err != nil {
+				return RampResult{}, err
+			}
+		case boosted && air >= dropAt:
+			boosted = false
+			res.Transitions++
+			clock += trans
+			s.Disk.Delay(clock)
+			if err := s.Disk.SetRPM(base); err != nil {
+				return RampResult{}, err
+			}
+		}
+
+		comp, err := s.Disk.Serve(r)
+		if err != nil {
+			return RampResult{}, err
+		}
+		if boosted {
+			res.BoostedTime += comp.Finish - comp.Start
+		}
+		advance(comp.Finish, 1)
+		sample.Add(comp.Response())
+		res.Elapsed = comp.Finish - reqs[0].Arrival
+	}
+	res.MeanResponseMillis = sample.Mean()
+	res.MaxAirTemp = maxT
+	return res, nil
+}

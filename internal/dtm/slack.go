@@ -1,0 +1,61 @@
+// Package dtm implements the paper's Dynamic Thermal Management mechanisms
+// (section 5): quantifying the thermal slack between the worst-case design
+// point and VCM-off operation (Figure 5), the dynamic-throttling experiment
+// (Figures 6 and 7), and — as the extension the paper flags as future work —
+// closed-loop DTM controllers coupling the thermal transient to the disk
+// simulator.
+package dtm
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// SlackPoint is one bar pair of Figure 5(a): the highest speed a platter size
+// sustains inside the envelope with the VCM always on (the envelope design)
+// versus with the VCM off (the exploitable slack).
+type SlackPoint struct {
+	Size        units.Inches
+	Platters    int
+	EnvelopeRPM units.RPM // VCM continuously seeking
+	VCMOffRPM   units.RPM // idle / fully sequential
+
+	// VCMPower is the seek power that creates the slack; it shrinks with
+	// platter size, and the slack with it.
+	VCMPower units.Watts
+}
+
+// SlackRPM returns the exploitable speed increase.
+func (p SlackPoint) SlackRPM() units.RPM { return p.VCMOffRPM - p.EnvelopeRPM }
+
+// Slack computes Figure 5(a) for a set of platter sizes.
+func Slack(sizes []units.Inches, platters int, ambient units.Celsius) ([]SlackPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []units.Inches{2.6, 2.1, 1.6}
+	}
+	if platters <= 0 {
+		platters = 1
+	}
+	out := make([]SlackPoint, 0, len(sizes))
+	for _, size := range sizes {
+		m, err := thermal.New(geometry.Drive{
+			PlatterDiameter: size,
+			Platters:        platters,
+			FormFactor:      geometry.FormFactor35,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dtm: slack at %v: %w", size, err)
+		}
+		out = append(out, SlackPoint{
+			Size:        size,
+			Platters:    platters,
+			EnvelopeRPM: m.MaxRPM(thermal.Envelope, 1, ambient),
+			VCMOffRPM:   m.MaxRPM(thermal.Envelope, 0, ambient),
+			VCMPower:    thermal.VCMPower(size),
+		})
+	}
+	return out, nil
+}

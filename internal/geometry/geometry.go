@@ -1,0 +1,252 @@
+// Package geometry describes the physical layout of a disk drive: the
+// platter stack, the actuator, and the enclosure. It provides the derived
+// quantities — masses, surface areas, air volume — that the thermal model's
+// nodal network is built from.
+//
+// The reference geometry is the Seagate Cheetah 15K.3 that the paper
+// disassembled: a 2.6" platter inside a 3.5" form-factor enclosure. Platter
+// thickness, casting wall thickness and arm dimensions follow the paper's
+// measurements where stated and standard values otherwise; every number is a
+// named constant below so the calibration surface is explicit.
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/materials"
+	"repro/internal/units"
+)
+
+// FormFactor is a drive enclosure size class.
+type FormFactor int
+
+// Enclosure form factors considered by the paper (section 4.2.2).
+const (
+	// FormFactor35 is the standard 3.5" enclosure (4" x 5.75" x 1").
+	FormFactor35 FormFactor = iota
+	// FormFactor25 is the small 2.5" enclosure (2.75" x 3.96" x 0.75"),
+	// the paper's section 4.2.2 sensitivity case. It can still house a
+	// 2.6" platter.
+	FormFactor25
+
+	// FormFactor35Tall is the 1.6"-height ("full-height") 3.5" enclosure
+	// used by high-platter-count drives such as the 12-platter
+	// Barracuda 180 in the validation corpus.
+	FormFactor35Tall
+)
+
+// String implements fmt.Stringer.
+func (f FormFactor) String() string {
+	switch f {
+	case FormFactor35:
+		return "3.5-inch"
+	case FormFactor25:
+		return "2.5-inch"
+	case FormFactor35Tall:
+		return "3.5-inch-tall"
+	default:
+		return fmt.Sprintf("FormFactor(%d)", int(f))
+	}
+}
+
+// Dimensions returns the external width, depth and height of the enclosure.
+func (f FormFactor) Dimensions() (w, d, h units.Inches) {
+	switch f {
+	case FormFactor25:
+		// StorageReview reference guide dimensions cited by the paper.
+		return 2.75, 3.96, 0.75
+	case FormFactor35Tall:
+		return 4.0, 5.75, 1.6
+	default:
+		return 4.0, 5.75, 1.0
+	}
+}
+
+// MaxPlatterDiameter returns the largest platter the enclosure can house.
+func (f FormFactor) MaxPlatterDiameter() units.Inches {
+	switch f {
+	case FormFactor25:
+		return 2.6
+	case FormFactor35, FormFactor35Tall:
+		return 3.74
+	default:
+		return 3.74
+	}
+}
+
+// Reference construction constants. These are the measurable parameters the
+// paper obtained with vernier calipers from the Cheetah teardown, or standard
+// values where the paper does not state one.
+const (
+	// PlatterThickness is the thickness of one platter in inches.
+	PlatterThickness units.Inches = 0.05
+
+	// PlatterSpacing is the axial pitch between adjacent platters.
+	PlatterSpacing units.Inches = 0.12
+
+	// CastingWall is the wall thickness of the base and cover castings.
+	CastingWall units.Inches = 0.12
+
+	// HubDiameterFraction is the spindle-hub diameter as a fraction of the
+	// platter diameter; the hub clamps the platters at the inner radius,
+	// which the capacity model pins at half the outer radius.
+	HubDiameterFraction = 0.5
+
+	// ArmLengthFraction is the disk-arm length as a fraction of the platter
+	// diameter; the arm must reach from the pivot (outside the platter) to
+	// the inner radius.
+	ArmLengthFraction = 0.9
+
+	// ArmWidth and ArmThickness size one actuator arm.
+	ArmWidth     units.Inches = 0.5
+	ArmThickness units.Inches = 0.04
+
+	// VCMMass is the mass of the voice-coil motor magnet structure in kg.
+	// The magnets dominate the actuator's thermal capacitance.
+	VCMMass = 0.060
+
+	// SpindleMotorMass is the mass of the spindle motor (stator, bearings)
+	// in kg, exclusive of the hub.
+	SpindleMotorMass = 0.045
+)
+
+// Drive is the physical description of one drive.
+type Drive struct {
+	// PlatterDiameter is the recording-media diameter (NOT the form
+	// factor): 2.6" for the reference Cheetah.
+	PlatterDiameter units.Inches
+
+	// Platters is the number of platters in the stack.
+	Platters int
+
+	// FormFactor selects the enclosure.
+	FormFactor FormFactor
+}
+
+// Validate reports whether the drive is physically constructible.
+func (d Drive) Validate() error {
+	if d.Platters < 1 {
+		return fmt.Errorf("geometry: %d platters; need at least 1", d.Platters)
+	}
+	if d.PlatterDiameter <= 0 {
+		return fmt.Errorf("geometry: non-positive platter diameter %v", d.PlatterDiameter)
+	}
+	if max := d.FormFactor.MaxPlatterDiameter(); d.PlatterDiameter > max {
+		return fmt.Errorf("geometry: %v platter does not fit %v enclosure (max %v)",
+			d.PlatterDiameter, d.FormFactor, max)
+	}
+	_, _, h := d.FormFactor.Dimensions()
+	if stack := units.Inches(float64(d.Platters)) * PlatterSpacing; stack > h {
+		return fmt.Errorf("geometry: %d-platter stack (%v) exceeds enclosure height %v",
+			d.Platters, stack, h)
+	}
+	return nil
+}
+
+// OuterRadius returns the platter outer radius.
+func (d Drive) OuterRadius() units.Inches { return d.PlatterDiameter / 2 }
+
+// InnerRadius returns the recording-band inner radius, pinned to half the
+// outer radius per the paper's rule of thumb.
+func (d Drive) InnerRadius() units.Inches { return d.PlatterDiameter / 4 }
+
+// PlatterMass returns the mass of one platter in kg (annulus from hub edge to
+// outer radius; the hub bore is HubDiameterFraction of the diameter).
+func (d Drive) PlatterMass() float64 {
+	ro := float64(d.OuterRadius().Meters())
+	rHub := ro * HubDiameterFraction / 2 // hub bore radius
+	t := float64(PlatterThickness.Meters())
+	vol := math.Pi * (ro*ro - rHub*rHub) * t
+	return vol * materials.Aluminum.Density
+}
+
+// HubMass returns the mass of the spindle hub in kg: a solid cylinder the
+// height of the stack with the hub diameter.
+func (d Drive) HubMass() float64 {
+	rHub := float64(d.OuterRadius().Meters()) * HubDiameterFraction
+	h := float64(d.Platters) * float64(PlatterSpacing.Meters())
+	if h < float64(PlatterSpacing.Meters()) {
+		h = float64(PlatterSpacing.Meters())
+	}
+	return math.Pi * rHub * rHub * h * materials.Aluminum.Density
+}
+
+// SpindleAssemblyMass is the thermal mass of the rotating stack plus motor:
+// platters, hub and spindle motor.
+func (d Drive) SpindleAssemblyMass() float64 {
+	return float64(d.Platters)*d.PlatterMass() + d.HubMass() + SpindleMotorMass
+}
+
+// ArmLength returns the actuator arm length.
+func (d Drive) ArmLength() units.Inches {
+	return units.Inches(ArmLengthFraction * float64(d.PlatterDiameter))
+}
+
+// ActuatorMass returns the mass of the actuator: one arm per surface plus the
+// VCM magnet structure.
+func (d Drive) ActuatorMass() float64 {
+	l := float64(d.ArmLength().Meters())
+	w := float64(ArmWidth.Meters())
+	t := float64(ArmThickness.Meters())
+	arms := float64(2 * d.Platters)
+	return arms*l*w*t*materials.Aluminum.Density + VCMMass
+}
+
+// CastingMass returns the combined mass of base and cover castings, modelled
+// as a box shell of CastingWall thickness.
+func (d Drive) CastingMass() float64 {
+	w, dep, h := d.FormFactor.Dimensions()
+	wm, dm, hm := float64(w.Meters()), float64(dep.Meters()), float64(h.Meters())
+	tw := float64(CastingWall.Meters())
+	outer := wm * dm * hm
+	inner := (wm - 2*tw) * (dm - 2*tw) * (hm - 2*tw)
+	return (outer - inner) * materials.Aluminum.Density
+}
+
+// EnclosureArea returns the total external surface area of the enclosure in
+// m^2 — the area available for convection to the ambient air.
+func (d Drive) EnclosureArea() float64 {
+	w, dep, h := d.FormFactor.Dimensions()
+	wm, dm, hm := float64(w.Meters()), float64(dep.Meters()), float64(h.Meters())
+	return 2 * (wm*dm + wm*hm + dm*hm)
+}
+
+// InternalAirVolume returns the free air volume inside the enclosure in m^3:
+// the internal box volume minus the solids.
+func (d Drive) InternalAirVolume() float64 {
+	w, dep, h := d.FormFactor.Dimensions()
+	tw := float64(CastingWall.Meters())
+	wm := float64(w.Meters()) - 2*tw
+	dm := float64(dep.Meters()) - 2*tw
+	hm := float64(h.Meters()) - 2*tw
+	box := wm * dm * hm
+	solids := (d.SpindleAssemblyMass() + d.ActuatorMass()) / materials.Aluminum.Density
+	v := box - solids
+	if v < 0.1*box {
+		v = 0.1 * box
+	}
+	return v
+}
+
+// PlatterWettedArea returns the air-washed surface area of the platter stack
+// in m^2: two faces per platter plus the rim.
+func (d Drive) PlatterWettedArea() float64 {
+	ro := float64(d.OuterRadius().Meters())
+	rHub := ro * HubDiameterFraction
+	face := math.Pi * (ro*ro - rHub*rHub)
+	rim := 2 * math.Pi * ro * float64(PlatterThickness.Meters())
+	return float64(d.Platters) * (2*face + rim)
+}
+
+// ActuatorWettedArea returns the air-washed area of the arms in m^2.
+func (d Drive) ActuatorWettedArea() float64 {
+	l := float64(d.ArmLength().Meters())
+	w := float64(ArmWidth.Meters())
+	arms := float64(2 * d.Platters)
+	return arms * 2 * l * w
+}
+
+// DataBandWidth returns the radial width of the recording band (outer minus
+// inner radius).
+func (d Drive) DataBandWidth() units.Inches { return d.OuterRadius() - d.InnerRadius() }

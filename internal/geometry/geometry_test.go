@@ -1,0 +1,168 @@
+package geometry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func reference() Drive {
+	return Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: FormFactor35}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []Drive{
+		reference(),
+		{PlatterDiameter: 3.7, Platters: 4, FormFactor: FormFactor35},
+		{PlatterDiameter: 3.7, Platters: 12, FormFactor: FormFactor35Tall},
+		{PlatterDiameter: 2.6, Platters: 2, FormFactor: FormFactor25},
+		{PlatterDiameter: 1.6, Platters: 1, FormFactor: FormFactor35},
+	}
+	for _, d := range cases {
+		if err := d.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", d, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		d    Drive
+		want string
+	}{
+		{Drive{PlatterDiameter: 2.6, Platters: 0, FormFactor: FormFactor35}, "platters"},
+		{Drive{PlatterDiameter: -1, Platters: 1, FormFactor: FormFactor35}, "diameter"},
+		{Drive{PlatterDiameter: 4.5, Platters: 1, FormFactor: FormFactor35}, "fit"},
+		{Drive{PlatterDiameter: 3.0, Platters: 1, FormFactor: FormFactor25}, "fit"},
+		{Drive{PlatterDiameter: 2.6, Platters: 12, FormFactor: FormFactor35}, "stack"},
+	}
+	for _, c := range cases {
+		err := c.d.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error containing %q", c.d, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.d, err, c.want)
+		}
+	}
+}
+
+func TestRadii(t *testing.T) {
+	d := reference()
+	if got := d.OuterRadius(); got != 1.3 {
+		t.Errorf("outer radius = %v, want 1.3", got)
+	}
+	if got := d.InnerRadius(); got != 0.65 {
+		t.Errorf("inner radius = %v, want 0.65 (half of outer)", got)
+	}
+	if got := d.DataBandWidth(); got != 0.65 {
+		t.Errorf("data band = %v, want 0.65", got)
+	}
+}
+
+func TestPlatterMassPlausible(t *testing.T) {
+	// A 2.6" aluminum platter weighs a few grams to a few tens of grams.
+	m := reference().PlatterMass()
+	if m < 0.003 || m > 0.05 {
+		t.Errorf("2.6\" platter mass = %.4f kg, outside plausible range", m)
+	}
+	// A 3.7" platter is heavier.
+	d37 := Drive{PlatterDiameter: 3.7, Platters: 1, FormFactor: FormFactor35}
+	if d37.PlatterMass() <= m {
+		t.Error("3.7\" platter should outweigh 2.6\"")
+	}
+}
+
+func TestSpindleMassGrowsWithPlatters(t *testing.T) {
+	d1 := reference()
+	d4 := Drive{PlatterDiameter: 2.6, Platters: 4, FormFactor: FormFactor35}
+	if d4.SpindleAssemblyMass() <= d1.SpindleAssemblyMass() {
+		t.Error("4-platter spindle assembly should outweigh 1-platter")
+	}
+}
+
+func TestCastingMassPlausible(t *testing.T) {
+	// Base+cover of a 3.5" drive: roughly 0.2-0.6 kg.
+	m := reference().CastingMass()
+	if m < 0.15 || m > 0.8 {
+		t.Errorf("casting mass = %.3f kg, outside plausible range", m)
+	}
+	// The 2.5" enclosure is lighter.
+	d25 := Drive{PlatterDiameter: 2.1, Platters: 1, FormFactor: FormFactor25}
+	if d25.CastingMass() >= m {
+		t.Error("2.5\" castings should be lighter than 3.5\"")
+	}
+}
+
+func TestEnclosureAreaOrdering(t *testing.T) {
+	a35 := Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: FormFactor35}.EnclosureArea()
+	a25 := Drive{PlatterDiameter: 2.1, Platters: 1, FormFactor: FormFactor25}.EnclosureArea()
+	aTall := Drive{PlatterDiameter: 2.6, Platters: 1, FormFactor: FormFactor35Tall}.EnclosureArea()
+	if !(a25 < a35 && a35 < aTall) {
+		t.Errorf("enclosure areas not ordered: 2.5\"=%.4f 3.5\"=%.4f tall=%.4f", a25, a35, aTall)
+	}
+}
+
+func TestInternalAirVolumePositive(t *testing.T) {
+	f := func(dia uint8, n uint8) bool {
+		d := Drive{
+			PlatterDiameter: units.Inches(1 + float64(dia%28)/10), // 1.0..3.7
+			Platters:        1 + int(n%4),
+			FormFactor:      FormFactor35,
+		}
+		if d.Validate() != nil {
+			return true
+		}
+		return d.InternalAirVolume() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWettedAreasScaleWithPlatters(t *testing.T) {
+	d1 := reference()
+	d2 := Drive{PlatterDiameter: 2.6, Platters: 2, FormFactor: FormFactor35}
+	r := d2.PlatterWettedArea() / d1.PlatterWettedArea()
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("wetted area ratio 2-platter/1-platter = %v, want 2", r)
+	}
+	if d2.ActuatorWettedArea() <= d1.ActuatorWettedArea() {
+		t.Error("more platters need more arms, hence more actuator area")
+	}
+}
+
+func TestFormFactorStrings(t *testing.T) {
+	if FormFactor35.String() != "3.5-inch" ||
+		FormFactor25.String() != "2.5-inch" ||
+		FormFactor35Tall.String() != "3.5-inch-tall" {
+		t.Error("form factor String() mismatch")
+	}
+	if !strings.Contains(FormFactor(99).String(), "99") {
+		t.Error("unknown form factor should print its number")
+	}
+}
+
+func TestFormFactorDimensions(t *testing.T) {
+	w, d, h := FormFactor35.Dimensions()
+	if w != 4.0 || d != 5.75 || h != 1.0 {
+		t.Errorf("3.5\" dims = %v x %v x %v", w, d, h)
+	}
+	_, _, hTall := FormFactor35Tall.Dimensions()
+	if hTall != 1.6 {
+		t.Errorf("tall height = %v, want 1.6", hTall)
+	}
+}
+
+func TestArmLength(t *testing.T) {
+	d := reference()
+	got := d.ArmLength()
+	want := units.Inches(ArmLengthFraction * 2.6)
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Errorf("arm length = %v, want %v", got, want)
+	}
+}

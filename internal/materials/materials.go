@@ -1,0 +1,101 @@
+// Package materials provides the thermophysical properties used by the
+// thermal model: the aluminium alloy the platters, spindle hub, arms and
+// castings are made of, and the air sealed inside the drive enclosure.
+//
+// The paper (section 3.3) states that platters are an Al-Mg alloy and the
+// castings aluminium, and that — the exact alloys being proprietary — it
+// assumes plain aluminium throughout. We do the same. Air properties carry a
+// mild temperature dependence because the internal air in the later roadmap
+// years runs far above ambient, where constant-property air would
+// overestimate viscous losses.
+package materials
+
+import "repro/internal/units"
+
+// Solid describes a solid material.
+type Solid struct {
+	Name string
+
+	// Density in kg/m^3.
+	Density float64
+
+	// SpecificHeat in J/(kg K).
+	SpecificHeat float64
+
+	// Conductivity in W/(m K).
+	Conductivity float64
+}
+
+// Aluminum is the alloy assumed for platters, hub, arms, base and cover.
+// Values are for Al 6061 at room temperature.
+var Aluminum = Solid{
+	Name:         "aluminum",
+	Density:      2700,
+	SpecificHeat: 896,
+	Conductivity: 167,
+}
+
+// Steel is used for the spindle shaft and pivot bearing; it appears only in
+// the conduction paths between the rotating stack and the base casting.
+var Steel = Solid{
+	Name:         "steel",
+	Density:      7850,
+	SpecificHeat: 490,
+	Conductivity: 45,
+}
+
+// Air bundles the properties of the drive's internal air at a given
+// temperature. All values are at atmospheric pressure.
+type Air struct {
+	// Density in kg/m^3.
+	Density float64
+	// SpecificHeat in J/(kg K).
+	SpecificHeat float64
+	// Conductivity in W/(m K).
+	Conductivity float64
+	// KinematicViscosity in m^2/s.
+	KinematicViscosity float64
+	// Prandtl number (dimensionless).
+	Prandtl float64
+}
+
+// AirAt returns air properties at temperature t. Between the tabulated
+// points (0..600 C) it interpolates linearly; outside it clamps. The table is
+// the standard dry-air property table.
+func AirAt(t units.Celsius) Air {
+	pts := airTable
+	x := float64(t)
+	if x <= pts[0].t {
+		return pts[0].a
+	}
+	for i := 1; i < len(pts); i++ {
+		if x <= pts[i].t {
+			lo, hi := pts[i-1], pts[i]
+			f := (x - lo.t) / (hi.t - lo.t)
+			return Air{
+				Density:            lerp(lo.a.Density, hi.a.Density, f),
+				SpecificHeat:       lerp(lo.a.SpecificHeat, hi.a.SpecificHeat, f),
+				Conductivity:       lerp(lo.a.Conductivity, hi.a.Conductivity, f),
+				KinematicViscosity: lerp(lo.a.KinematicViscosity, hi.a.KinematicViscosity, f),
+				Prandtl:            lerp(lo.a.Prandtl, hi.a.Prandtl, f),
+			}
+		}
+	}
+	return pts[len(pts)-1].a
+}
+
+func lerp(a, b, f float64) float64 { return a + (b-a)*f }
+
+var airTable = []struct {
+	t float64
+	a Air
+}{
+	{0, Air{1.293, 1005, 0.0243, 1.33e-5, 0.715}},
+	{20, Air{1.205, 1005, 0.0257, 1.51e-5, 0.713}},
+	{40, Air{1.127, 1005, 0.0271, 1.70e-5, 0.711}},
+	{60, Air{1.067, 1009, 0.0285, 1.89e-5, 0.709}},
+	{100, Air{0.946, 1009, 0.0314, 2.31e-5, 0.704}},
+	{200, Air{0.746, 1026, 0.0386, 3.49e-5, 0.695}},
+	{400, Air{0.524, 1068, 0.0515, 6.30e-5, 0.689}},
+	{600, Air{0.404, 1114, 0.0622, 9.66e-5, 0.690}},
+}

@@ -1,0 +1,77 @@
+package materials
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func cel(f float64) units.Celsius { return units.Celsius(f) }
+
+func TestAluminumProperties(t *testing.T) {
+	if Aluminum.Density != 2700 {
+		t.Errorf("aluminum density = %v", Aluminum.Density)
+	}
+	if Aluminum.SpecificHeat != 896 {
+		t.Errorf("aluminum cp = %v", Aluminum.SpecificHeat)
+	}
+	if Aluminum.Conductivity < 100 || Aluminum.Conductivity > 250 {
+		t.Errorf("aluminum conductivity = %v outside sane range", Aluminum.Conductivity)
+	}
+}
+
+func TestAirAtTabulatedPoints(t *testing.T) {
+	a := AirAt(20)
+	if a.Density != 1.205 {
+		t.Errorf("air density at 20 C = %v, want 1.205", a.Density)
+	}
+	a = AirAt(200)
+	if a.KinematicViscosity != 3.49e-5 {
+		t.Errorf("air viscosity at 200 C = %v, want 3.49e-5", a.KinematicViscosity)
+	}
+}
+
+func TestAirAtInterpolates(t *testing.T) {
+	a30 := AirAt(30)
+	a20, a40 := AirAt(20), AirAt(40)
+	mid := (a20.Density + a40.Density) / 2
+	if a30.Density != mid {
+		t.Errorf("interpolated density at 30 C = %v, want %v", a30.Density, mid)
+	}
+}
+
+func TestAirAtClamps(t *testing.T) {
+	if lo := AirAt(-40); lo != AirAt(0) {
+		t.Error("below-range temperature should clamp to 0 C properties")
+	}
+	if hi := AirAt(1000); hi != AirAt(600) {
+		t.Error("above-range temperature should clamp to 600 C properties")
+	}
+}
+
+func TestAirMonotonicity(t *testing.T) {
+	// Density falls with temperature; viscosity rises.
+	f := func(a, b uint16) bool {
+		ta := float64(a%600) + 0.5
+		tb := float64(b%600) + 0.5
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		pa, pb := AirAt(cel(ta)), AirAt(cel(tb))
+		return pa.Density >= pb.Density && pa.KinematicViscosity <= pb.KinematicViscosity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirPositivity(t *testing.T) {
+	for temp := -20.0; temp <= 700; temp += 7.3 {
+		a := AirAt(cel(temp))
+		if a.Density <= 0 || a.SpecificHeat <= 0 || a.Conductivity <= 0 ||
+			a.KinematicViscosity <= 0 || a.Prandtl <= 0 {
+			t.Fatalf("non-positive air property at %.1f C: %+v", temp, a)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package perf implements the paper's performance model (section 3.2): the
+// three-parameter seek-time model of Worthington et al. and the internal data
+// rate (IDR) computed from the outermost ZBR zone.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/units"
+)
+
+// SeekParams are the three datasheet parameters the seek model interpolates:
+// track-to-track, average, and full-stroke seek times.
+type SeekParams struct {
+	TrackToTrack time.Duration
+	Average      time.Duration
+	FullStroke   time.Duration
+}
+
+// Validate reports whether the parameters are self-consistent.
+func (p SeekParams) Validate() error {
+	if p.TrackToTrack <= 0 || p.Average <= 0 || p.FullStroke <= 0 {
+		return fmt.Errorf("perf: non-positive seek parameter %+v", p)
+	}
+	if p.TrackToTrack > p.Average || p.Average > p.FullStroke {
+		return fmt.Errorf("perf: seek parameters not monotone %+v", p)
+	}
+	return nil
+}
+
+// seekAnchor ties a platter diameter to datasheet-typical seek parameters.
+// The paper interpolates "data from actual devices of different platter
+// sizes"; these anchors follow the drives in its Table 1 generation.
+type seekAnchor struct {
+	diameter units.Inches
+	params   SeekParams
+}
+
+var seekAnchors = []seekAnchor{
+	{1.0, SeekParams{100 * time.Microsecond, 1200 * time.Microsecond, 2400 * time.Microsecond}},
+	{1.6, SeekParams{200 * time.Microsecond, 1900 * time.Microsecond, 3800 * time.Microsecond}},
+	{2.1, SeekParams{300 * time.Microsecond, 2700 * time.Microsecond, 5400 * time.Microsecond}},
+	{2.6, SeekParams{400 * time.Microsecond, 3600 * time.Microsecond, 7200 * time.Microsecond}},
+	{3.0, SeekParams{500 * time.Microsecond, 4300 * time.Microsecond, 8800 * time.Microsecond}},
+	{3.3, SeekParams{600 * time.Microsecond, 4900 * time.Microsecond, 10200 * time.Microsecond}},
+	{3.7, SeekParams{800 * time.Microsecond, 7400 * time.Microsecond, 16000 * time.Microsecond}},
+}
+
+// SeekParamsForPlatter returns seek parameters for a platter diameter by
+// linear interpolation between the anchor devices (clamped at the ends).
+func SeekParamsForPlatter(d units.Inches) SeekParams {
+	a := seekAnchors
+	if d <= a[0].diameter {
+		return a[0].params
+	}
+	for i := 1; i < len(a); i++ {
+		if d <= a[i].diameter {
+			lo, hi := a[i-1], a[i]
+			f := float64(d-lo.diameter) / float64(hi.diameter-lo.diameter)
+			return SeekParams{
+				TrackToTrack: lerpDur(lo.params.TrackToTrack, hi.params.TrackToTrack, f),
+				Average:      lerpDur(lo.params.Average, hi.params.Average, f),
+				FullStroke:   lerpDur(lo.params.FullStroke, hi.params.FullStroke, f),
+			}
+		}
+	}
+	return a[len(a)-1].params
+}
+
+func lerpDur(a, b time.Duration, f float64) time.Duration {
+	return a + time.Duration(float64(b-a)*f)
+}
+
+// SeekModel computes seek time for a seek distance in cylinders using the
+// piecewise-linear interpolation through the three datasheet points. The
+// average seek is pinned at one third of the full stroke, the textbook mean
+// distance of a uniformly random seek.
+type SeekModel struct {
+	params    SeekParams
+	cylinders int
+}
+
+// NewSeekModel builds a seek model for a drive with the given cylinder count.
+func NewSeekModel(p SeekParams, cylinders int) (*SeekModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cylinders < 2 {
+		return nil, fmt.Errorf("perf: %d cylinders; need at least 2", cylinders)
+	}
+	return &SeekModel{params: p, cylinders: cylinders}, nil
+}
+
+// Params returns the model's three datasheet parameters.
+func (m *SeekModel) Params() SeekParams { return m.params }
+
+// Cylinders returns the stroke length in cylinders.
+func (m *SeekModel) Cylinders() int { return m.cylinders }
+
+// SeekTime returns the time to move the actuator dist cylinders.
+// A zero-distance seek takes no time.
+func (m *SeekModel) SeekTime(dist int) time.Duration {
+	if dist < 0 {
+		dist = -dist
+	}
+	switch {
+	case dist == 0:
+		return 0
+	case dist == 1:
+		return m.params.TrackToTrack
+	}
+	full := float64(m.cylinders - 1)
+	avgDist := full / 3
+	d := float64(dist)
+	if d > full {
+		d = full
+	}
+	tt := float64(m.params.TrackToTrack)
+	av := float64(m.params.Average)
+	fs := float64(m.params.FullStroke)
+	var t float64
+	if d <= avgDist {
+		t = tt + (av-tt)*(d-1)/(avgDist-1)
+	} else {
+		t = av + (fs-av)*(d-avgDist)/(full-avgDist)
+	}
+	return time.Duration(t)
+}
+
+// AverageRotationalLatency returns half a revolution at the given speed.
+func AverageRotationalLatency(rpm units.RPM) time.Duration {
+	if rpm <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(rpm.PeriodSeconds() / 2 * float64(time.Second))
+}
+
+// IDR returns the maximum internal data rate (equation 4 of the paper):
+// the outermost zone's track streamed at the rotation rate.
+func IDR(l *capacity.Layout, rpm units.RPM) units.MBPerSec {
+	ntz0 := float64(l.SectorsPerTrackZone0())
+	return units.MBPerSec(rpm.RevPerSec() * ntz0 * units.SectorBytes / units.MB)
+}
+
+// RPMForIDR inverts equation 4: the rotational speed needed to reach the
+// target IDR with the given layout's outermost zone.
+func RPMForIDR(l *capacity.Layout, target units.MBPerSec) units.RPM {
+	ntz0 := float64(l.SectorsPerTrackZone0())
+	if ntz0 == 0 {
+		return 0
+	}
+	return units.RPM(float64(target) * units.MB / (ntz0 * units.SectorBytes) * 60)
+}
+
+// TransferTime returns the media transfer time for n consecutive sectors on a
+// track with sectorsPerTrack sectors at the given speed.
+func TransferTime(n, sectorsPerTrack int, rpm units.RPM) time.Duration {
+	if n <= 0 || sectorsPerTrack <= 0 || rpm <= 0 {
+		return 0
+	}
+	rev := rpm.PeriodSeconds()
+	return time.Duration(rev * float64(n) / float64(sectorsPerTrack) * float64(time.Second))
+}

@@ -1,0 +1,197 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/geometry"
+	"repro/internal/units"
+)
+
+func cheetahLayout(t *testing.T) *capacity.Layout {
+	t.Helper()
+	l, err := capacity.New(capacity.Config{
+		Geometry: geometry.Drive{PlatterDiameter: 2.6, Platters: 4, FormFactor: geometry.FormFactor35},
+		BPI:      533000,
+		TPI:      64000,
+		Zones:    30,
+	})
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return l
+}
+
+func TestIDRCheetah153(t *testing.T) {
+	l := cheetahLayout(t)
+	got := float64(IDR(l, 15000))
+	// Paper's model: 114.4 MB/s; accept 2%.
+	if math.Abs(got-114.4)/114.4 > 0.02 {
+		t.Errorf("IDR = %.1f MB/s, want ~114.4", got)
+	}
+}
+
+func TestIDRLinearInRPM(t *testing.T) {
+	l := cheetahLayout(t)
+	base := float64(IDR(l, 10000))
+	double := float64(IDR(l, 20000))
+	if math.Abs(double-2*base) > 1e-9 {
+		t.Errorf("IDR not linear in RPM: %v vs %v", double, 2*base)
+	}
+}
+
+func TestRPMForIDRInverts(t *testing.T) {
+	l := cheetahLayout(t)
+	f := func(raw uint16) bool {
+		rpm := units.RPM(5000 + int(raw)%60000)
+		idr := IDR(l, rpm)
+		back := RPMForIDR(l, idr)
+		return math.Abs(float64(back-rpm)) < 1e-6*float64(rpm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekParamsForPlatterAnchors(t *testing.T) {
+	p := SeekParamsForPlatter(2.6)
+	if p.Average != 3600*time.Microsecond {
+		t.Errorf("2.6\" average seek = %v, want 3.6ms", p.Average)
+	}
+	p = SeekParamsForPlatter(3.7)
+	if p.FullStroke != 16*time.Millisecond {
+		t.Errorf("3.7\" full stroke = %v, want 16ms", p.FullStroke)
+	}
+}
+
+func TestSeekParamsInterpolateAndClamp(t *testing.T) {
+	mid := SeekParamsForPlatter(2.35) // halfway between 2.1 and 2.6
+	lo, hi := SeekParamsForPlatter(2.1), SeekParamsForPlatter(2.6)
+	if mid.Average <= lo.Average || mid.Average >= hi.Average {
+		t.Errorf("interpolated average %v not between %v and %v", mid.Average, lo.Average, hi.Average)
+	}
+	if got := SeekParamsForPlatter(0.5); got != SeekParamsForPlatter(1.0) {
+		t.Error("below-range diameter should clamp")
+	}
+	if got := SeekParamsForPlatter(5.0); got != SeekParamsForPlatter(3.7) {
+		t.Error("above-range diameter should clamp")
+	}
+}
+
+func TestSeekParamsMonotoneInDiameter(t *testing.T) {
+	prev := SeekParamsForPlatter(1.0)
+	for d := 1.1; d <= 3.7; d += 0.1 {
+		cur := SeekParamsForPlatter(units.Inches(d))
+		if cur.Average < prev.Average || cur.FullStroke < prev.FullStroke {
+			t.Fatalf("seek times shrank from %.1f\" to %.1f\"", d-0.1, d)
+		}
+		prev = cur
+	}
+}
+
+func newModel(t *testing.T) *SeekModel {
+	t.Helper()
+	m, err := NewSeekModel(SeekParamsForPlatter(2.6), 27720)
+	if err != nil {
+		t.Fatalf("NewSeekModel: %v", err)
+	}
+	return m
+}
+
+func TestSeekTimeEndpoints(t *testing.T) {
+	m := newModel(t)
+	if got := m.SeekTime(0); got != 0 {
+		t.Errorf("zero seek = %v, want 0", got)
+	}
+	if got := m.SeekTime(1); got != m.Params().TrackToTrack {
+		t.Errorf("track-to-track = %v, want %v", got, m.Params().TrackToTrack)
+	}
+	full := m.SeekTime(m.Cylinders() - 1)
+	if d := math.Abs(float64(full - m.Params().FullStroke)); d > float64(time.Microsecond) {
+		t.Errorf("full stroke = %v, want %v", full, m.Params().FullStroke)
+	}
+	// Average seek at one-third stroke.
+	third := m.SeekTime((m.Cylinders() - 1) / 3)
+	if d := math.Abs(float64(third - m.Params().Average)); d > float64(10*time.Microsecond) {
+		t.Errorf("1/3-stroke seek = %v, want ~%v", third, m.Params().Average)
+	}
+}
+
+func TestSeekTimeSymmetricAndMonotone(t *testing.T) {
+	m := newModel(t)
+	if m.SeekTime(-500) != m.SeekTime(500) {
+		t.Error("seek time should depend on |distance|")
+	}
+	prev := time.Duration(-1)
+	for d := 0; d < m.Cylinders(); d += 97 {
+		cur := m.SeekTime(d)
+		if cur < prev {
+			t.Fatalf("seek time decreased at distance %d", d)
+		}
+		prev = cur
+	}
+}
+
+func TestSeekTimeClampsBeyondStroke(t *testing.T) {
+	m := newModel(t)
+	if m.SeekTime(10*m.Cylinders()) != m.SeekTime(m.Cylinders()-1) {
+		t.Error("seeks beyond the stroke should clamp to full stroke")
+	}
+}
+
+func TestNewSeekModelErrors(t *testing.T) {
+	if _, err := NewSeekModel(SeekParams{}, 100); err == nil {
+		t.Error("zero params should be rejected")
+	}
+	bad := SeekParams{TrackToTrack: 5 * time.Millisecond, Average: time.Millisecond, FullStroke: 10 * time.Millisecond}
+	if _, err := NewSeekModel(bad, 100); err == nil {
+		t.Error("non-monotone params should be rejected")
+	}
+	if _, err := NewSeekModel(SeekParamsForPlatter(2.6), 1); err == nil {
+		t.Error("single-cylinder drive should be rejected")
+	}
+}
+
+func TestAverageRotationalLatency(t *testing.T) {
+	if got := AverageRotationalLatency(15000); got != 2*time.Millisecond {
+		t.Errorf("latency at 15000 RPM = %v, want 2ms", got)
+	}
+	if got := AverageRotationalLatency(7200); math.Abs(float64(got-4166667*time.Nanosecond)) > 1000 {
+		t.Errorf("latency at 7200 RPM = %v, want ~4.167ms", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// A full track at 15000 RPM takes one revolution: 4 ms.
+	got := TransferTime(900, 900, 15000)
+	if math.Abs(float64(got-4*time.Millisecond)) > float64(time.Microsecond) {
+		t.Errorf("full-track transfer = %v, want 4ms", got)
+	}
+	half := TransferTime(450, 900, 15000)
+	if math.Abs(float64(half-2*time.Millisecond)) > float64(time.Microsecond) {
+		t.Errorf("half-track transfer = %v, want 2ms", half)
+	}
+	if TransferTime(0, 900, 15000) != 0 || TransferTime(10, 0, 15000) != 0 {
+		t.Error("degenerate transfers should be zero")
+	}
+}
+
+func TestIDRGrowsWithDensity(t *testing.T) {
+	l := cheetahLayout(t)
+	denser, err := capacity.New(capacity.Config{
+		Geometry: l.Config().Geometry,
+		BPI:      l.Config().BPI * 1.3,
+		TPI:      l.Config().TPI,
+		Zones:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(IDR(denser, 15000)) / float64(IDR(l, 15000))
+	if r < 1.25 || r > 1.35 {
+		t.Errorf("IDR ratio for 1.3x BPI = %.3f, want ~1.3", r)
+	}
+}

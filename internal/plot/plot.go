@@ -1,0 +1,192 @@
+// Package plot renders simple ASCII line charts, so the cmd/ binaries can
+// draw the paper's figures directly in a terminal: the Figure 2/3/5 IDR
+// roadmaps (log-scale y), the Figure 1 transient, and the Figure 7
+// throttling-ratio curves.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker byte // 0 picks automatically
+}
+
+// Chart is a set of curves over a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots the y axis in log10 space (the paper's IDR roadmaps).
+	LogY bool
+	// Width and Height are the plot-area dimensions in characters
+	// (0 = 72x20).
+	Width, Height int
+
+	series []Series
+}
+
+// markers cycled across series without explicit markers.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a curve. X and Y must be the same length.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values",
+			s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	if s.Marker == 0 {
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	if w < 16 {
+		w = 16
+	}
+	if h < 4 {
+		h = 4
+	}
+	return w, h
+}
+
+// Render draws the chart.
+func (c *Chart) Render() (string, error) {
+	if len(c.series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := c.dims()
+
+	ty := func(y float64) (float64, error) {
+		if !c.LogY {
+			return y, nil
+		}
+		if y <= 0 {
+			return 0, fmt.Errorf("plot: log-scale chart %q got non-positive y %g", c.Title, y)
+		}
+		return math.Log10(y), nil
+	}
+
+	// Axis ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			y, err := ty(s.Y[i])
+			if err != nil {
+				return "", err
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, m byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+		row = h - 1 - row // origin bottom-left
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+
+	// Draw each series: points plus linear interpolation between them.
+	for _, s := range c.series {
+		for i := range s.X {
+			y, _ := ty(s.Y[i])
+			if i > 0 {
+				py, _ := ty(s.Y[i-1])
+				steps := 4 * w
+				for k := 0; k <= steps; k++ {
+					f := float64(k) / float64(steps)
+					put(s.X[i-1]+f*(s.X[i]-s.X[i-1]), py+f*(y-py), s.Marker)
+				}
+			}
+			put(s.X[i], y, s.Marker)
+		}
+	}
+
+	inv := func(y float64) float64 {
+		if c.LogY {
+			return math.Pow(10, y)
+		}
+		return y
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = formatTick(inv(maxY))
+		case h - 1:
+			label = formatTick(inv(minY))
+		case h / 2:
+			label = formatTick(inv(minY + (maxY-minY)/2))
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", w-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s%s\n", "", c.XLabel, c.YLabel, logNote(c.LogY))
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", s.Marker, s.Name)
+	}
+	return b.String(), nil
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

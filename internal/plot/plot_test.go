@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var c Chart
+	c.Title = "test"
+	c.XLabel = "year"
+	c.YLabel = "MB/s"
+	if err := c.Add(Series{Name: "target", X: []float64{0, 1, 2}, Y: []float64{1, 2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test", "target", "year", "MB/s", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	var c Chart
+	c.LogY = true
+	if err := c.Add(Series{Name: "idr", X: []float64{2002, 2012}, Y: []float64{100, 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "idr") {
+		t.Errorf("log chart malformed:\n%s", out)
+	}
+	// Non-positive values must be rejected on a log axis.
+	var bad Chart
+	bad.LogY = true
+	if err := bad.Add(Series{Name: "zero", X: []float64{0}, Y: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Render(); err == nil {
+		t.Error("log chart with zero y should fail")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	var c Chart
+	if err := c.Add(Series{Name: "mismatch", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+	if err := c.Add(Series{Name: "empty"}); err == nil {
+		t.Error("empty series should be rejected")
+	}
+	if _, err := c.Render(); err == nil {
+		t.Error("empty chart should not render")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var c Chart
+	for i := 0; i < 3; i++ {
+		if err := c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"*", "o", "+"} {
+		if !strings.Contains(out, m+" s") {
+			t.Errorf("legend missing marker %q:\n%s", m, out)
+		}
+	}
+}
+
+func TestFlatSeriesDoesNotPanic(t *testing.T) {
+	var c Chart
+	if err := c.Add(Series{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestDimensionClamps(t *testing.T) {
+	c := Chart{Width: 1, Height: 1}
+	if err := c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Error("clamped chart too small")
+	}
+}
+
+func TestMonotoneSeriesTopRight(t *testing.T) {
+	// A rising curve should put its marker in the top-right region.
+	c := Chart{Width: 40, Height: 10}
+	if err := c.Add(Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	if strings.Contains(top, "up") {
+		top = lines[1]
+	}
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row has no marker for a rising series:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package power models disk-drive power and energy: the same physical terms
+// the thermal model turns into temperature (windage, spindle bearing, voice
+// coil), plus the electronics floor the paper's thermal analysis explicitly
+// sets aside. It integrates with the simulator's per-request breakdowns to
+// account energy over a workload — the currency of the DRPM line of work the
+// paper builds on.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/geometry"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// ElectronicsPower is the controller/channel electronics draw the thermal
+// model excludes (it adds the ~10 C the paper discounts). Typical for the
+// era's SCSI drives.
+const ElectronicsPower units.Watts = 4.5
+
+// StandbyPower is the draw with the spindle stopped and the electronics
+// mostly asleep (interface still alive).
+const StandbyPower units.Watts = 2.0
+
+// MotorEfficiency converts the mechanical load (windage + bearing drag) to
+// electrical input: small spindle motors run at ~30% efficiency, the rest
+// dissipating as copper/iron loss. The thermal model tracks only the
+// in-enclosure mechanical terms; the electrical ledger needs the whole draw.
+const MotorEfficiency = 0.30
+
+// Breakdown is the instantaneous power decomposition of a drive.
+type Breakdown struct {
+	// Windage is the air shear on the spinning stack.
+	Windage units.Watts
+	// Bearing is the spindle-bearing drag loss.
+	Bearing units.Watts
+	// VCM is the seek actuator power (zero when idle).
+	VCM units.Watts
+	// MotorLoss is the spindle motor's electrical inefficiency
+	// (copper/iron loss) feeding the mechanical load.
+	MotorLoss units.Watts
+	// Electronics is the controller/channel floor.
+	Electronics units.Watts
+}
+
+// Total sums the components.
+func (b Breakdown) Total() units.Watts {
+	return b.Windage + b.Bearing + b.VCM + b.MotorLoss + b.Electronics
+}
+
+// Model computes drive power at operating points.
+type Model struct {
+	drive geometry.Drive
+}
+
+// New builds a power model for a geometry.
+func New(d geometry.Drive) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{drive: d}, nil
+}
+
+// Drive returns the modelled geometry.
+func (m *Model) Drive() geometry.Drive { return m.drive }
+
+// At returns the power breakdown at a spindle speed and VCM duty.
+func (m *Model) At(rpm units.RPM, vcmDuty float64) Breakdown {
+	if vcmDuty < 0 {
+		vcmDuty = 0
+	} else if vcmDuty > 1 {
+		vcmDuty = 1
+	}
+	windage := thermal.ViscousDissipation(rpm, m.drive.PlatterDiameter, m.drive.Platters)
+	bearing := thermal.BearingLoss(rpm, m.drive.PlatterDiameter)
+	return Breakdown{
+		Windage:     windage,
+		Bearing:     bearing,
+		VCM:         units.Watts(vcmDuty * float64(thermal.VCMPower(m.drive.PlatterDiameter))),
+		MotorLoss:   units.Watts(float64(windage+bearing) * (1/MotorEfficiency - 1)),
+		Electronics: ElectronicsPower,
+	}
+}
+
+// Idle returns the power with the spindle turning and the actuator parked.
+func (m *Model) Idle(rpm units.RPM) Breakdown { return m.At(rpm, 0) }
+
+// Active returns the power while continuously seeking.
+func (m *Model) Active(rpm units.RPM) Breakdown { return m.At(rpm, 1) }
+
+// Joules is an energy in joules.
+type Joules float64
+
+// String implements fmt.Stringer.
+func (j Joules) String() string {
+	switch {
+	case j >= 3600:
+		return fmt.Sprintf("%.2f Wh", float64(j)/3600)
+	default:
+		return fmt.Sprintf("%.1f J", float64(j))
+	}
+}
+
+// Energy integrates power over a duration.
+func Energy(p units.Watts, d time.Duration) Joules {
+	return Joules(float64(p) * d.Seconds())
+}
+
+// Account is the energy ledger of one simulated run.
+type Account struct {
+	// Spin is the windage+bearing+electronics energy over the whole span
+	// (the spindle never stops in these server drives).
+	Spin Joules
+	// Seek is the VCM energy, charged only while the actuator moves.
+	Seek Joules
+	// Span is the accounted wall-clock time.
+	Span time.Duration
+	// Requests counts the completions accounted.
+	Requests int
+}
+
+// Total returns the run's total energy.
+func (a Account) Total() Joules { return a.Spin + a.Seek }
+
+// MeanPower returns the average draw over the span.
+func (a Account) MeanPower() units.Watts {
+	if a.Span <= 0 {
+		return 0
+	}
+	return units.Watts(float64(a.Total()) / a.Span.Seconds())
+}
+
+// JoulesPerRequest returns the energy cost of the average request.
+func (a Account) JoulesPerRequest() Joules {
+	if a.Requests == 0 {
+		return 0
+	}
+	return Joules(float64(a.Total()) / float64(a.Requests))
+}
+
+// AccountRun charges a completed single-disk run at a constant spindle speed:
+// base power for the full span (first arrival to last finish) and VCM power
+// for each request's seek time. Completions must come from one disk.
+func (m *Model) AccountRun(rpm units.RPM, comps []disksim.Completion) Account {
+	var acct Account
+	if len(comps) == 0 {
+		return acct
+	}
+	start := comps[0].Request.Arrival
+	end := comps[0].Finish
+	var seekTime time.Duration
+	for _, c := range comps {
+		if c.Request.Arrival < start {
+			start = c.Request.Arrival
+		}
+		if c.Finish > end {
+			end = c.Finish
+		}
+		seekTime += c.Parts.Seek
+	}
+	acct.Span = end - start
+	acct.Requests = len(comps)
+	base := m.Idle(rpm)
+	acct.Spin = Energy(base.Total(), acct.Span)
+	acct.Seek = Energy(thermal.VCMPower(m.drive.PlatterDiameter), seekTime)
+	return acct
+}
+
+// CompareRPM evaluates the energy/performance trade of running the same
+// completed workload at two speeds (the caller simulates each). It returns
+// the relative energy increase of the fast run.
+func CompareRPM(slow, fast Account) float64 {
+	if slow.Total() == 0 {
+		return 0
+	}
+	return float64(fast.Total()-slow.Total()) / float64(slow.Total())
+}

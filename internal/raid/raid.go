@@ -1,0 +1,341 @@
+// Package raid stripes a logical volume across several simulated disks:
+// RAID-0, RAID-5 (left-symmetric rotating parity with read-modify-write), and
+// JBOD concatenation for the multi-disk non-striped workloads in the paper's
+// Figure 4 study. The paper's RAID systems use RAID-5 with a stripe unit of
+// 16 512-byte blocks.
+package raid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disksim"
+)
+
+// Level selects the volume organisation.
+type Level int
+
+// Supported organisations.
+const (
+	// JBOD concatenates the disks' address spaces.
+	JBOD Level = iota
+	// RAID0 stripes without redundancy.
+	RAID0
+	// RAID5 stripes with left-symmetric rotating parity; small writes pay
+	// the read-modify-write penalty on the data and parity disks.
+	RAID5
+	// RAID1 mirrors two disks: writes go to both, reads alternate between
+	// them. The paper's section 5.4 proposes steering mirrored reads for
+	// thermal cool-down; the DTM package implements that policy on top of
+	// this level.
+	RAID1
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case JBOD:
+		return "JBOD"
+	case RAID0:
+		return "RAID-0"
+	case RAID5:
+		return "RAID-5"
+	case RAID1:
+		return "RAID-1"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// DefaultStripeUnit is the paper's stripe size: 16 512-byte blocks.
+const DefaultStripeUnit = 16
+
+// Request is one volume-level I/O.
+type Request struct {
+	ID      int64
+	Arrival time.Duration
+	Block   int64 // volume LBN
+	Sectors int
+	Write   bool
+}
+
+// Completion is the volume-level outcome: the slowest constituent disk
+// request determines the finish time.
+type Completion struct {
+	Request Request
+	Finish  time.Duration
+	// SubRequests is how many disk I/Os the request fanned out to.
+	SubRequests int
+	// CacheHits counts constituent disk requests served from cache.
+	CacheHits int
+}
+
+// Response returns the end-to-end volume response time.
+func (c Completion) Response() time.Duration { return c.Finish - c.Request.Arrival }
+
+// Volume is a set of disks under one organisation. It is not safe for
+// concurrent use.
+type Volume struct {
+	disks      []*disksim.Disk
+	level      Level
+	stripeUnit int64
+	perDisk    int64 // addressable sectors per member disk
+
+	writeBack time.Duration
+	readRR    int // RAID-1 read round-robin cursor
+}
+
+// SetWriteBack gives the array controller a battery-backed write cache:
+// host writes complete after the given latency while the destage I/Os still
+// occupy the member disks. Zero restores write-through. TPC-C audited
+// configurations of the era universally ran such controllers.
+func (v *Volume) SetWriteBack(latency time.Duration) { v.writeBack = latency }
+
+// New assembles a volume. All member disks must have the same capacity.
+func New(level Level, disks []*disksim.Disk, stripeUnit int) (*Volume, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("raid: no disks")
+	}
+	if level == RAID5 && len(disks) < 3 {
+		return nil, fmt.Errorf("raid: RAID-5 needs >= 3 disks, have %d", len(disks))
+	}
+	if level == RAID1 && len(disks) != 2 {
+		return nil, fmt.Errorf("raid: RAID-1 needs exactly 2 disks, have %d", len(disks))
+	}
+	if stripeUnit == 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	if stripeUnit < 0 {
+		return nil, fmt.Errorf("raid: negative stripe unit")
+	}
+	per := disks[0].Layout().TotalSectors()
+	for i, d := range disks {
+		if d.Layout().TotalSectors() != per {
+			return nil, fmt.Errorf("raid: disk %d capacity %d differs from disk 0's %d",
+				i, d.Layout().TotalSectors(), per)
+		}
+	}
+	return &Volume{
+		disks:      disks,
+		level:      level,
+		stripeUnit: int64(stripeUnit),
+		perDisk:    per,
+	}, nil
+}
+
+// Disks returns the member disks.
+func (v *Volume) Disks() []*disksim.Disk { return v.disks }
+
+// Level returns the volume organisation.
+func (v *Volume) Level() Level { return v.level }
+
+// Capacity returns the volume's addressable sectors (parity excluded).
+func (v *Volume) Capacity() int64 {
+	n := int64(len(v.disks))
+	switch v.level {
+	case RAID5:
+		return (n - 1) * v.perDisk
+	case RAID1:
+		return v.perDisk
+	default:
+		return n * v.perDisk
+	}
+}
+
+// sub is one disk-level constituent of a volume request.
+type sub struct {
+	disk int
+	req  disksim.Request
+}
+
+// SubRequest is the exported view of a volume request's disk-level
+// constituent, for analysis tools.
+type SubRequest struct {
+	Disk    int
+	Request disksim.Request
+}
+
+// Explode returns the disk-level I/Os a volume request fans out to, without
+// simulating them.
+func (v *Volume) Explode(r Request) ([]SubRequest, error) {
+	subs, err := v.mapRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SubRequest, len(subs))
+	for i, s := range subs {
+		out[i] = SubRequest{Disk: s.disk, Request: s.req}
+	}
+	return out, nil
+}
+
+// mapRequest fans a volume request out to disk requests. RAID-5 writes add
+// the read-modify-write I/Os: old-data and old-parity reads precede the data
+// and parity writes (the same-disk FCFS queue serialises read before write;
+// the cross-disk read-before-write dependency is approximated away, which
+// errs slightly optimistic on parity-write start times).
+func (v *Volume) mapRequest(r Request) ([]sub, error) {
+	if r.Sectors <= 0 {
+		return nil, fmt.Errorf("raid: request %d has %d sectors", r.ID, r.Sectors)
+	}
+	if r.Block < 0 || r.Block+int64(r.Sectors) > v.Capacity() {
+		return nil, fmt.Errorf("raid: request %d range [%d,%d) outside volume [0,%d)",
+			r.ID, r.Block, r.Block+int64(r.Sectors), v.Capacity())
+	}
+	switch v.level {
+	case JBOD:
+		return v.mapConcat(r), nil
+	case RAID0:
+		return v.mapStriped(r, false), nil
+	case RAID5:
+		return v.mapStriped(r, true), nil
+	case RAID1:
+		return v.mapMirrored(r), nil
+	default:
+		return nil, fmt.Errorf("raid: unknown level %v", v.level)
+	}
+}
+
+// mapMirrored fans RAID-1 requests: writes to both members, reads to the
+// alternating member (round-robin read balancing).
+func (v *Volume) mapMirrored(r Request) []sub {
+	req := disksim.Request{
+		ID: r.ID, Arrival: r.Arrival, LBN: r.Block, Sectors: r.Sectors, Write: r.Write,
+	}
+	if r.Write {
+		return []sub{{0, req}, {1, req}}
+	}
+	v.readRR++
+	return []sub{{v.readRR % 2, req}}
+}
+
+func (v *Volume) mapConcat(r Request) []sub {
+	var subs []sub
+	block := r.Block
+	remaining := int64(r.Sectors)
+	for remaining > 0 {
+		disk := int(block / v.perDisk)
+		off := block % v.perDisk
+		n := v.perDisk - off
+		if n > remaining {
+			n = remaining
+		}
+		subs = append(subs, sub{disk, disksim.Request{
+			ID: r.ID, Arrival: r.Arrival, LBN: off, Sectors: int(n), Write: r.Write,
+		}})
+		block += n
+		remaining -= n
+	}
+	return subs
+}
+
+// stripeLoc maps a volume stripe-unit index to its (disk, disk-LBN-base) and,
+// for RAID-5, the parity disk of its row.
+func (v *Volume) stripeLoc(unit int64, raid5 bool) (dataDisk int, diskBase int64, parityDisk int) {
+	n := int64(len(v.disks))
+	if !raid5 {
+		return int(unit % n), (unit / n) * v.stripeUnit, -1
+	}
+	dataPerRow := n - 1
+	row := unit / dataPerRow
+	idx := unit % dataPerRow
+	p := int(n - 1 - row%n) // left-symmetric parity rotation
+	d := (p + 1 + int(idx)) % int(n)
+	return d, row * v.stripeUnit, p
+}
+
+func (v *Volume) mapStriped(r Request, raid5 bool) []sub {
+	var subs []sub
+	block := r.Block
+	remaining := int64(r.Sectors)
+	for remaining > 0 {
+		unit := block / v.stripeUnit
+		off := block % v.stripeUnit
+		n := v.stripeUnit - off
+		if n > remaining {
+			n = remaining
+		}
+		disk, base, parity := v.stripeLoc(unit, raid5)
+		lbn := base + off
+		if !r.Write || !raid5 {
+			subs = append(subs, sub{disk, disksim.Request{
+				ID: r.ID, Arrival: r.Arrival, LBN: lbn, Sectors: int(n), Write: r.Write,
+			}})
+		} else {
+			// Read-modify-write: old data, old parity, new data, new parity.
+			subs = append(subs,
+				sub{disk, disksim.Request{ID: r.ID, Arrival: r.Arrival, LBN: lbn, Sectors: int(n)}},
+				sub{disk, disksim.Request{ID: r.ID, Arrival: r.Arrival, LBN: lbn, Sectors: int(n), Write: true}},
+				sub{parity, disksim.Request{ID: r.ID, Arrival: r.Arrival, LBN: base + off, Sectors: int(n)}},
+				sub{parity, disksim.Request{ID: r.ID, Arrival: r.Arrival, LBN: base + off, Sectors: int(n), Write: true}},
+			)
+		}
+		block += n
+		remaining -= n
+	}
+	return subs
+}
+
+// Simulate runs a volume-level workload and returns completions sorted by
+// request arrival.
+func (v *Volume) Simulate(reqs []Request) ([]Completion, error) {
+	perDisk := make([][]disksim.Request, len(v.disks))
+	type parent struct {
+		req    Request
+		subs   int
+		finish time.Duration
+		hits   int
+	}
+	parents := make(map[int64]*parent, len(reqs))
+	for _, r := range reqs {
+		subs, err := v.mapRequest(r)
+		if err != nil {
+			return nil, err
+		}
+		p := parents[r.ID]
+		if p == nil {
+			p = &parent{req: r}
+			parents[r.ID] = p
+		}
+		p.subs += len(subs)
+		for _, s := range subs {
+			perDisk[s.disk] = append(perDisk[s.disk], s.req)
+		}
+	}
+	for i, d := range v.disks {
+		comps, err := d.Simulate(perDisk[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range comps {
+			p := parents[c.Request.ID]
+			if c.Finish > p.finish {
+				p.finish = c.Finish
+			}
+			if c.CacheHit {
+				p.hits++
+			}
+		}
+	}
+	out := make([]Completion, 0, len(parents))
+	for _, p := range parents {
+		finish := p.finish
+		if v.writeBack > 0 && p.req.Write {
+			finish = p.req.Arrival + v.writeBack
+		}
+		out = append(out, Completion{
+			Request:     p.req,
+			Finish:      finish,
+			SubRequests: p.subs,
+			CacheHits:   p.hits,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Request.Arrival != out[j].Request.Arrival {
+			return out[i].Request.Arrival < out[j].Request.Arrival
+		}
+		return out[i].Request.ID < out[j].Request.ID
+	})
+	return out, nil
+}

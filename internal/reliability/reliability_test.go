@@ -1,0 +1,144 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestDoublingLaw(t *testing.T) {
+	m := Default()
+	if got := m.AccelerationAt(ReferenceTemp); math.Abs(got-1) > 1e-12 {
+		t.Errorf("acceleration at reference = %v, want 1", got)
+	}
+	// The paper's headline: +15 C doubles the failure rate.
+	if got := m.AccelerationAt(ReferenceTemp + 15); math.Abs(got-2) > 1e-12 {
+		t.Errorf("acceleration at +15 C = %v, want 2", got)
+	}
+	if got := m.AccelerationAt(ReferenceTemp - 15); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("acceleration at -15 C = %v, want 0.5", got)
+	}
+	if got := m.AccelerationAt(ReferenceTemp + 30); math.Abs(got-4) > 1e-12 {
+		t.Errorf("acceleration at +30 C = %v, want 4", got)
+	}
+}
+
+func TestAFRAndMTTF(t *testing.T) {
+	m := Default()
+	if got := m.AFRAt(ReferenceTemp); got != BaselineAFR {
+		t.Errorf("baseline AFR = %v", got)
+	}
+	// 1% AFR ~ 876k hour MTTF.
+	mttf := m.MTTFAt(ReferenceTemp)
+	hours := mttf.Hours()
+	if math.Abs(hours-876600)/876600 > 0.001 {
+		t.Errorf("MTTF = %.0f h, want ~876,600", hours)
+	}
+	// Hotter halves it.
+	if hot := m.MTTFAt(ReferenceTemp + 15); math.Abs(hot.Hours()-hours/2) > 1 {
+		t.Errorf("MTTF at +15 C = %.0f h, want half of %.0f", hot.Hours(), hours)
+	}
+}
+
+func TestSurvival(t *testing.T) {
+	m := Default()
+	year := time.Duration(365.25 * 24 * float64(time.Hour))
+	s := m.SurvivalAt(ReferenceTemp, year)
+	want := math.Exp(-BaselineAFR)
+	if math.Abs(s-want) > 1e-9 {
+		t.Errorf("1-year survival = %v, want %v", s, want)
+	}
+	if m.SurvivalAt(ReferenceTemp, 0) != 1 {
+		t.Error("zero-duration survival should be 1")
+	}
+	if hot := m.SurvivalAt(ReferenceTemp+30, year); hot >= s {
+		t.Error("hotter drives must fail more")
+	}
+}
+
+func TestModelOverrides(t *testing.T) {
+	m := Model{Reference: 40, AFR: 0.02, Doubling: 10}
+	if got := m.AFRAt(50); math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("overridden AFR at +10 = %v, want 0.04", got)
+	}
+}
+
+func TestAccelerationMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b int16) bool {
+		ta := units.Celsius(float64(a) / 100)
+		tb := units.Celsius(float64(b) / 100)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return m.AccelerationAt(ta) <= m.AccelerationAt(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExposureSteadyMatchesModel(t *testing.T) {
+	m := Default()
+	e := NewExposure(m)
+	e.Add(ReferenceTemp+15, time.Hour)
+	if got := e.EffectiveAcceleration(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("steady exposure acceleration = %v, want 2", got)
+	}
+	if got := e.EffectiveTemperature(); math.Abs(float64(got-(ReferenceTemp+15))) > 1e-6 {
+		t.Errorf("effective temperature = %v, want %v", got, ReferenceTemp+15)
+	}
+	if e.Hottest() != ReferenceTemp+15 {
+		t.Errorf("hottest = %v", e.Hottest())
+	}
+	if e.Total() != time.Hour {
+		t.Errorf("total = %v", e.Total())
+	}
+}
+
+func TestExposureMixesProfiles(t *testing.T) {
+	m := Default()
+	e := NewExposure(m)
+	// Half the time at +15 (x2), half at -15 (x0.5): mean 1.25.
+	e.Add(ReferenceTemp+15, time.Hour)
+	e.Add(ReferenceTemp-15, time.Hour)
+	if got := e.EffectiveAcceleration(); math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("mixed acceleration = %v, want 1.25", got)
+	}
+	// The effective temperature exceeds the arithmetic mean (convexity).
+	if got := e.EffectiveTemperature(); got <= ReferenceTemp {
+		t.Errorf("effective temperature %v should exceed the mean %v", got, ReferenceTemp)
+	}
+}
+
+func TestExposureIgnoresNonPositiveDurations(t *testing.T) {
+	e := NewExposure(Default())
+	e.Add(50, -time.Second)
+	e.Add(50, 0)
+	if e.Total() != 0 || e.EffectiveAcceleration() != 0 {
+		t.Error("non-positive durations should be ignored")
+	}
+}
+
+func TestLifeExtension(t *testing.T) {
+	m := Default()
+	cool := NewExposure(m)
+	cool.Add(ReferenceTemp-15, time.Hour)
+	hot := NewExposure(m)
+	hot.Add(ReferenceTemp, time.Hour)
+	ext, err := cool.LifeExtension(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 C cooler -> half the AFR -> 2x the life. The paper's closing
+	// argument for DTM-for-reliability.
+	if math.Abs(ext-2) > 1e-9 {
+		t.Errorf("life extension = %v, want 2", ext)
+	}
+	if _, err := cool.LifeExtension(NewExposure(m)); err == nil {
+		t.Error("empty exposure should error")
+	}
+}

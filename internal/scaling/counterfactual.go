@@ -1,0 +1,57 @@
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// TrendTo derives the post-slowdown growth rates that land exactly on a
+// target density point in a target year — the paper's own calibration
+// procedure ("we then adjusted the CGRs for the BPI and TPI to achieve this
+// areal density in the year 2010"). The early rates and the slowdown year
+// stay at their defaults.
+func TrendTo(targetBPI units.BPI, targetTPI units.TPI, targetYear int) (Trend, error) {
+	t := DefaultTrend()
+	if targetYear < t.SlowdownYear {
+		return Trend{}, fmt.Errorf("scaling: target year %d precedes the slowdown year %d",
+			targetYear, t.SlowdownYear)
+	}
+	if targetBPI <= 0 || targetTPI <= 0 {
+		return Trend{}, fmt.Errorf("scaling: non-positive target densities")
+	}
+	// Densities at the end of the early regime.
+	lastEarly := t.SlowdownYear - 1
+	bpi0, tpi0 := t.Densities(lastEarly)
+	years := float64(targetYear - lastEarly)
+	gb := math.Pow(float64(targetBPI)/float64(bpi0), 1/years)
+	gt := math.Pow(float64(targetTPI)/float64(tpi0), 1/years)
+	if gb <= 1 || gt <= 1 {
+		return Trend{}, fmt.Errorf("scaling: target (%v, %v) in %d implies non-growing densities",
+			targetBPI, targetTPI, targetYear)
+	}
+	t.LateBPIGrowth = gb
+	t.LateTPIGrowth = gt
+	return t, nil
+}
+
+// OptimisticTrend is the counterfactual in which the 1990s growth rates
+// (30% BPI, 50% TPI — 100% areal density per year) never slow down: the
+// superparamagnetic wall does not bite. Used to separate how much of the
+// roadmap's falloff is thermal versus recording-physics.
+func OptimisticTrend() Trend {
+	t := DefaultTrend()
+	t.LateBPIGrowth = t.EarlyBPIGrowth
+	t.LateTPIGrowth = t.EarlyTPIGrowth
+	return t
+}
+
+// PessimisticTrend is the counterfactual in which density growth halves
+// again after the slowdown (7%/14%).
+func PessimisticTrend() Trend {
+	t := DefaultTrend()
+	t.LateBPIGrowth = 1.07
+	t.LateTPIGrowth = 1.14
+	return t
+}

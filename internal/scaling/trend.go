@@ -1,0 +1,126 @@
+// Package scaling implements the paper's technology-trend model and the
+// thermally-constrained disk-drive roadmap of section 4.
+//
+// The recording densities grow from the 1999 Hitachi baseline (270 KBPI,
+// 20 KTPI) at 30%/50% CGR through 2003 and at 14%/28% from 2004 — the
+// adjusted rates that land on 1 Tb/in^2 (1.85 MBPI x 540 KTPI, BAR 3.42) in
+// 2010. The IDR target line is 47 MB/s in 1999 growing 40% per year. The
+// roadmap asks, year by year and platter size by platter size: what spindle
+// speed would the target IDR need, what temperature would that reach, and
+// what is the best IDR actually attainable inside the 45.22 C envelope.
+package scaling
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Default trend constants from the paper (section 4).
+const (
+	// BaseYear anchors the density and IDR trends.
+	BaseYear = 1999
+
+	// BaseBPI and BaseTPI are the 1999 Hitachi values.
+	BaseBPI units.BPI = 270e3
+	BaseTPI units.TPI = 20e3
+
+	// EarlyBPIGrowth and EarlyTPIGrowth apply through 2003.
+	EarlyBPIGrowth = 1.30
+	EarlyTPIGrowth = 1.50
+
+	// LateBPIGrowth and LateTPIGrowth apply from SlowdownYear on.
+	LateBPIGrowth = 1.14
+	LateTPIGrowth = 1.28
+
+	// SlowdownYear is the first year of the reduced CGRs.
+	SlowdownYear = 2004
+
+	// BaseIDR is the 1999 internal data rate the 40% CGR target grows from.
+	BaseIDR units.MBPerSec = 47
+
+	// IDRGrowth is the industry's target IDR compound annual growth rate.
+	IDRGrowth = 1.40
+
+	// ReferenceRPM is the 2002 baseline spindle speed the roadmap modulates
+	// from (the Table 3 RPM column is exactly ReferenceRPM x target/density).
+	ReferenceRPM units.RPM = 15000
+
+	// RoadmapZones is the ZBR zone count the roadmap drives use (the paper's
+	// Table 3 assumes 50 zones; the Table 1 validation corpus uses 30).
+	RoadmapZones = 50
+)
+
+// Trend projects recording densities over calendar years.
+type Trend struct {
+	BaseYear int
+	BaseBPI  units.BPI
+	BaseTPI  units.TPI
+
+	EarlyBPIGrowth, EarlyTPIGrowth float64
+	LateBPIGrowth, LateTPIGrowth   float64
+	SlowdownYear                   int
+}
+
+// DefaultTrend returns the paper's density trend.
+func DefaultTrend() Trend {
+	return Trend{
+		BaseYear:       BaseYear,
+		BaseBPI:        BaseBPI,
+		BaseTPI:        BaseTPI,
+		EarlyBPIGrowth: EarlyBPIGrowth,
+		EarlyTPIGrowth: EarlyTPIGrowth,
+		LateBPIGrowth:  LateBPIGrowth,
+		LateTPIGrowth:  LateTPIGrowth,
+		SlowdownYear:   SlowdownYear,
+	}
+}
+
+// Densities returns the projected BPI and TPI for a year at or after the
+// trend's base year.
+func (t Trend) Densities(year int) (units.BPI, units.TPI) {
+	if year < t.BaseYear {
+		year = t.BaseYear
+	}
+	earlyYears := year - t.BaseYear
+	lateYears := 0
+	if year >= t.SlowdownYear {
+		earlyYears = t.SlowdownYear - 1 - t.BaseYear
+		lateYears = year - t.SlowdownYear + 1
+	}
+	bpi := float64(t.BaseBPI) *
+		math.Pow(t.EarlyBPIGrowth, float64(earlyYears)) *
+		math.Pow(t.LateBPIGrowth, float64(lateYears))
+	tpi := float64(t.BaseTPI) *
+		math.Pow(t.EarlyTPIGrowth, float64(earlyYears)) *
+		math.Pow(t.LateTPIGrowth, float64(lateYears))
+	return units.BPI(bpi), units.TPI(tpi)
+}
+
+// ArealDensity returns the projected areal density (bits/in^2) for a year.
+func (t Trend) ArealDensity(year int) float64 {
+	b, p := t.Densities(year)
+	return units.ArealDensity(b, p)
+}
+
+// BAR returns the projected bit aspect ratio for a year. It falls from ~7 in
+// 1999 toward ~3.4 at the terabit transition, matching industry expectations.
+func (t Trend) BAR(year int) float64 {
+	b, p := t.Densities(year)
+	return units.BitAspectRatio(b, p)
+}
+
+// TerabitYear returns the first year the trend reaches 1 Tb/in^2.
+func (t Trend) TerabitYear() int {
+	for y := t.BaseYear; y < t.BaseYear+100; y++ {
+		if t.ArealDensity(y) >= units.TerabitPerSqInch {
+			return y
+		}
+	}
+	return -1
+}
+
+// TargetIDR returns the industry's 40%-CGR data-rate goal for a year.
+func TargetIDR(year int) units.MBPerSec {
+	return units.MBPerSec(float64(BaseIDR) * math.Pow(IDRGrowth, float64(year-BaseYear)))
+}

@@ -1,0 +1,144 @@
+// Package stats provides the response-time statistics the paper's Figure 4
+// reports: cumulative distributions over the paper's millisecond buckets and
+// summary means/percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Figure4Buckets are the paper's CDF bucket edges in milliseconds; the final
+// bucket is "200+".
+var Figure4Buckets = []float64{5, 10, 20, 40, 60, 90, 120, 150, 200}
+
+// Sample accumulates duration observations.
+type Sample struct {
+	values []float64 // milliseconds
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, float64(d)/float64(time.Millisecond))
+	s.sorted = false
+}
+
+// AddMillis records one observation given in milliseconds.
+func (s *Sample) AddMillis(ms float64) {
+	s.values = append(s.values, ms)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the mean in milliseconds (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest observation in milliseconds.
+func (s *Sample) Max() float64 {
+	m := 0.0
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) in milliseconds using
+// nearest-rank on the sorted sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.values))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.values[rank-1]
+}
+
+// CDF returns the cumulative fraction of observations at or below each bucket
+// edge, plus a final 1.0 entry for the open "200+" bucket.
+func (s *Sample) CDF(edges []float64) []float64 {
+	s.sort()
+	out := make([]float64, len(edges)+1)
+	n := float64(len(s.values))
+	for i, e := range edges {
+		idx := sort.SearchFloat64s(s.values, math.Nextafter(e, math.Inf(1)))
+		if n > 0 {
+			out[i] = float64(idx) / n
+		}
+	}
+	out[len(edges)] = 1
+	if n == 0 {
+		out[len(edges)] = 0
+	}
+	return out
+}
+
+// Figure4CDF returns the CDF over the paper's buckets.
+func (s *Sample) Figure4CDF() []float64 { return s.CDF(Figure4Buckets) }
+
+// FormatCDFRow renders a CDF as the row a Figure 4 table prints.
+func FormatCDFRow(label string, cdf []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", label)
+	for _, v := range cdf {
+		fmt.Fprintf(&b, " %6.3f", v)
+	}
+	return b.String()
+}
+
+// Improvement returns the relative reduction of b versus a (e.g. mean
+// response times): (a-b)/a. Positive means b is better (smaller).
+func Improvement(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// Histogram counts observations per bucket (the last bucket is open-ended).
+func (s *Sample) Histogram(edges []float64) []int {
+	s.sort()
+	out := make([]int, len(edges)+1)
+	j := 0
+	for _, v := range s.values {
+		for j < len(edges) && v > edges[j] {
+			j++
+		}
+		out[j]++
+	}
+	// Values are sorted, so the walk above assigns each to its first
+	// fitting bucket; reset j per value is unnecessary.
+	return out
+}

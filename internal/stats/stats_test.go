@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanAndN(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Error("empty sample should have zero mean and count")
+	}
+	s.Add(10 * time.Millisecond)
+	s.Add(20 * time.Millisecond)
+	s.AddMillis(30)
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("mean = %v, want 20", got)
+	}
+	if got := s.Max(); got != 30 {
+		t.Errorf("max = %v, want 30", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddMillis(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.AddMillis(math.Abs(v))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := s.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 4, 6, 30, 250} {
+		s.AddMillis(v)
+	}
+	cdf := s.CDF([]float64{5, 10, 20, 40})
+	want := []float64{0.4, 0.6, 0.6, 0.8, 1.0}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-9 {
+			t.Errorf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestCDFBoundaryInclusive(t *testing.T) {
+	var s Sample
+	s.AddMillis(5)
+	cdf := s.CDF([]float64{5})
+	if cdf[0] != 1 {
+		t.Errorf("value exactly on the edge should count: %v", cdf[0])
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var s Sample
+	cdf := s.Figure4CDF()
+	for i, v := range cdf {
+		if v != 0 {
+			t.Errorf("empty CDF[%d] = %v", i, v)
+		}
+	}
+	if len(cdf) != len(Figure4Buckets)+1 {
+		t.Errorf("CDF has %d entries, want %d", len(cdf), len(Figure4Buckets)+1)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var s Sample
+		for _, v := range vals {
+			s.AddMillis(float64(v) / 100)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		cdf := s.Figure4CDF()
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return cdf[len(cdf)-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 50); got != 0.5 {
+		t.Errorf("Improvement(100,50) = %v", got)
+	}
+	if got := Improvement(0, 50); got != 0 {
+		t.Errorf("Improvement(0,50) = %v", got)
+	}
+	if got := Improvement(50, 100); got != -1 {
+		t.Errorf("Improvement(50,100) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 6, 6, 15, 300} {
+		s.AddMillis(v)
+	}
+	h := s.Histogram([]float64{5, 10, 20})
+	want := []int{1, 2, 1, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != s.N() {
+		t.Errorf("histogram total %d != N %d", total, s.N())
+	}
+}
+
+func TestFormatCDFRow(t *testing.T) {
+	row := FormatCDFRow("label", []float64{0.5, 1})
+	if row == "" || len(row) < 14 {
+		t.Errorf("bad row %q", row)
+	}
+}
+
+func TestFigure4Buckets(t *testing.T) {
+	want := []float64{5, 10, 20, 40, 60, 90, 120, 150, 200}
+	if len(Figure4Buckets) != len(want) {
+		t.Fatalf("bucket count %d", len(Figure4Buckets))
+	}
+	for i, v := range want {
+		if Figure4Buckets[i] != v {
+			t.Errorf("bucket[%d] = %v, want %v", i, Figure4Buckets[i], v)
+		}
+	}
+}

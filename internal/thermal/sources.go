@@ -1,0 +1,113 @@
+// Package thermal implements the paper's thermal model (section 3.3): a
+// four-component finite-difference network — internal air, spindle assembly
+// (hub + platters), base + cover castings, and VCM + arms — after Clauss and
+// Eibeck. Heat enters as air windage (viscous dissipation) and voice-coil
+// power, conducts along the solids, convects to the internal air, and leaves
+// through the castings to the ambient air, which a cooling system holds at a
+// constant temperature.
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Envelope is the paper's thermal design envelope: the steady internal-air
+// temperature of the modelled Cheetah 15K.3 with VCM and SPM always on at a
+// 28 C ambient, excluding drive electronics. Drives must operate at or below
+// this internal air temperature for reliable service.
+const Envelope units.Celsius = 45.22
+
+// DefaultAmbient is the paper's external wet-bulb ambient temperature.
+const DefaultAmbient units.Celsius = 28.0
+
+// Viscous-dissipation law. The paper states windage grows with the 2.8th
+// power of RPM, the 4.8th power of platter diameter, and linearly with the
+// platter count. The coefficient is pinned by the paper's own series:
+// 0.91 W for a single 2.6" platter at 15,098 RPM (which reproduces its
+// 2 W @ 19,972, 35.55 W @ 55,819 and 499.73 W @ 143,470 RPM to <1%).
+const (
+	// RPMExponent is the windage growth exponent in rotational speed.
+	RPMExponent = 2.8
+
+	// DiameterExponent is the windage growth exponent in platter diameter.
+	DiameterExponent = 4.8
+
+	viscousRefPower    = 0.91    // W
+	viscousRefRPM      = 15098.0 // RPM
+	viscousRefDiameter = 2.6     // inches
+)
+
+// ViscousDissipation returns the windage power for a stack of n platters of
+// the given diameter spinning at the given speed.
+func ViscousDissipation(rpm units.RPM, diameter units.Inches, n int) units.Watts {
+	if rpm <= 0 || diameter <= 0 || n <= 0 {
+		return 0
+	}
+	return units.Watts(viscousRefPower * float64(n) *
+		math.Pow(float64(rpm)/viscousRefRPM, RPMExponent) *
+		math.Pow(float64(diameter)/viscousRefDiameter, DiameterExponent))
+}
+
+// Spindle-bearing loss. The fluid/ball bearing's drag torque grows with
+// speed and with the bearing radius (the hub scales with the platter), so
+// its power loss is 0.35 W at the reference point (2.6" platter, 15,000 RPM)
+// growing with omega^1.5 and diameter^2. This term is what keeps the steady
+// temperature strictly increasing through the 15-17 kRPM plateau where
+// windage growth and the falling air-to-casting resistance nearly cancel.
+const (
+	bearingRefPower    = 0.35    // W
+	bearingRefRPM      = 15000.0 // RPM
+	bearingRefDiameter = 2.6     // inches
+	bearingExponent    = 1.5
+)
+
+// BearingLoss returns the spindle-bearing power loss at a speed for a given
+// platter diameter, deposited into the spindle assembly.
+func BearingLoss(rpm units.RPM, diameter units.Inches) units.Watts {
+	if rpm <= 0 || diameter <= 0 {
+		return 0
+	}
+	return units.Watts(bearingRefPower *
+		math.Pow(float64(rpm)/bearingRefRPM, bearingExponent) *
+		math.Pow(float64(diameter)/bearingRefDiameter, 2))
+}
+
+// VCM power anchors. The paper measured 3.9 W on the 2.6"-platter Cheetah
+// 15K.3 and quotes 2.28 W at 2.1" and 0.618 W at 1.6" (section 5.2); larger
+// sizes follow Sri-Jayantha's trend of roughly 2x from 65 mm to 95 mm
+// platters. Between anchors we interpolate in log space.
+var vcmAnchors = []struct {
+	diameter units.Inches
+	watts    float64
+}{
+	{1.6, 0.618},
+	{2.1, 2.28},
+	{2.6, 3.9},
+	{3.3, 6.0},
+	{3.7, 7.5},
+}
+
+// VCMPower returns the voice-coil motor power for a platter diameter when the
+// actuator is continuously seeking. Outside the anchor range the nearest
+// segment's log-space slope is extrapolated.
+func VCMPower(diameter units.Inches) units.Watts {
+	a := vcmAnchors
+	if diameter <= 0 {
+		return 0
+	}
+	i := len(a) - 2
+	for j := 1; j < len(a); j++ {
+		if diameter <= a[j].diameter {
+			i = j - 1
+			break
+		}
+	}
+	lo, hi := a[i], a[i+1]
+	// Log-space linear interpolation/extrapolation.
+	slope := (math.Log(hi.watts) - math.Log(lo.watts)) /
+		(math.Log(float64(hi.diameter)) - math.Log(float64(lo.diameter)))
+	lw := math.Log(lo.watts) + slope*(math.Log(float64(diameter))-math.Log(float64(lo.diameter)))
+	return units.Watts(math.Exp(lw))
+}

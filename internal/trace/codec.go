@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/raid"
+)
+
+// codec header for the plain-text trace format.
+const formatHeader = "# repro-trace v1"
+
+// Write serialises requests in the repository's plain-text trace format:
+// a header line, then one "arrival_ns id block sectors R|W" line per request.
+func Write(w io.Writer, reqs []raid.Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, formatHeader); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %s\n",
+			r.Arrival.Nanoseconds(), r.ID, r.Block, r.Sectors, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) ([]raid.Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if !strings.HasPrefix(sc.Text(), formatHeader) {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	var out []raid.Request
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ns, id, block int64
+		var sectors int
+		var op string
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %s", &ns, &id, &block, &sectors, &op); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if op != "R" && op != "W" {
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, op)
+		}
+		out = append(out, raid.Request{
+			ID:      id,
+			Arrival: time.Duration(ns),
+			Block:   block,
+			Sectors: sectors,
+			Write:   op == "W",
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

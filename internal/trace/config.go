@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/raid"
+	"repro/internal/units"
+)
+
+// paramsJSON is the on-disk form of Params: RAID levels by name, RPM as a
+// plain number.
+type paramsJSON struct {
+	Name           string  `json:"name"`
+	Year           int     `json:"year"`
+	Seed           int64   `json:"seed"`
+	Requests       int     `json:"requests"`
+	Disks          int     `json:"disks"`
+	Level          string  `json:"level"`
+	StripeUnit     int     `json:"stripe_unit,omitempty"`
+	BaselineRPM    float64 `json:"baseline_rpm"`
+	DiskCapacityGB float64 `json:"disk_capacity_gb"`
+	ReadFraction   float64 `json:"read_fraction"`
+	MeanSectors    int     `json:"mean_sectors"`
+	SeqFraction    float64 `json:"seq_fraction"`
+	Streams        int     `json:"streams"`
+	ArrivalRate    float64 `json:"arrival_rate"`
+	BatchProb      float64 `json:"batch_prob"`
+	LocalitySpan   float64 `json:"locality_span"`
+	WriteBack      bool    `json:"write_back,omitempty"`
+}
+
+var levelNames = map[string]raid.Level{
+	"jbod":   raid.JBOD,
+	"raid0":  raid.RAID0,
+	"raid1":  raid.RAID1,
+	"raid5":  raid.RAID5,
+	"RAID-0": raid.RAID0,
+	"RAID-1": raid.RAID1,
+	"RAID-5": raid.RAID5,
+	"JBOD":   raid.JBOD,
+}
+
+func levelName(l raid.Level) string {
+	switch l {
+	case raid.RAID0:
+		return "raid0"
+	case raid.RAID1:
+		return "raid1"
+	case raid.RAID5:
+		return "raid5"
+	default:
+		return "jbod"
+	}
+}
+
+// WriteConfig serialises workload parameters as JSON (one object per
+// workload, as an array).
+func WriteConfig(w io.Writer, params []Params) error {
+	out := make([]paramsJSON, len(params))
+	for i, p := range params {
+		out[i] = paramsJSON{
+			Name: p.Name, Year: p.Year, Seed: p.Seed, Requests: p.Requests,
+			Disks: p.Disks, Level: levelName(p.Level), StripeUnit: p.StripeUnit,
+			BaselineRPM: float64(p.BaselineRPM), DiskCapacityGB: p.DiskCapacityGB,
+			ReadFraction: p.ReadFraction, MeanSectors: p.MeanSectors,
+			SeqFraction: p.SeqFraction, Streams: p.Streams,
+			ArrivalRate: p.ArrivalRate, BatchProb: p.BatchProb,
+			LocalitySpan: p.LocalitySpan, WriteBack: p.WriteBack,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadConfig parses workloads serialised by WriteConfig (or written by
+// hand) and validates each.
+func ReadConfig(r io.Reader) ([]Params, error) {
+	var in []paramsJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: config: %w", err)
+	}
+	out := make([]Params, len(in))
+	for i, j := range in {
+		level, ok := levelNames[j.Level]
+		if !ok {
+			return nil, fmt.Errorf("trace: config: workload %q has unknown level %q", j.Name, j.Level)
+		}
+		p := Params{
+			Name: j.Name, Year: j.Year, Seed: j.Seed, Requests: j.Requests,
+			Disks: j.Disks, Level: level, StripeUnit: j.StripeUnit,
+			BaselineRPM: units.RPM(j.BaselineRPM), DiskCapacityGB: j.DiskCapacityGB,
+			ReadFraction: j.ReadFraction, MeanSectors: j.MeanSectors,
+			SeqFraction: j.SeqFraction, Streams: j.Streams,
+			ArrivalRate: j.ArrivalRate, BatchProb: j.BatchProb,
+			LocalitySpan: j.LocalitySpan, WriteBack: j.WriteBack,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: config: %w", err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

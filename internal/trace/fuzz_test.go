@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace ensures the text-trace parser never panics and that
+// anything it accepts round-trips through Write.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# repro-trace v1\n100 1 200 8 R\n")
+	f.Add("# repro-trace v1\n# comment\n\n1 2 3 4 W\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("# repro-trace v1\n-1 -2 -3 -4 R\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		reqs, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, reqs); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read after Write: %v", err)
+		}
+		if len(back) != len(reqs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(reqs), len(back))
+		}
+	})
+}
+
+// FuzzReadConfig ensures the JSON workload parser never panics and that
+// accepted configs re-serialise.
+func FuzzReadConfig(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, Workloads); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("[]")
+	f.Add("{")
+	f.Fuzz(func(t *testing.T, in string) {
+		params, err := ReadConfig(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteConfig(&out, params); err != nil {
+			t.Fatalf("WriteConfig after successful ReadConfig: %v", err)
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/raid"
+)
+
+func TestWorkloadTableMatchesPaper(t *testing.T) {
+	// The Figure 4(a) table: request counts, disk counts, RPMs, RAID.
+	cases := []struct {
+		name  string
+		reqs  int
+		disks int
+		rpm   float64
+		level raid.Level
+	}{
+		{"HPL Openmail", 3053745, 8, 10000, raid.RAID5},
+		{"OLTP Application", 5334945, 24, 10000, raid.JBOD},
+		{"Search-Engine", 4579809, 6, 10000, raid.JBOD},
+		{"TPC-C", 6155547, 4, 10000, raid.RAID5},
+		{"TPC-H", 4228725, 15, 7200, raid.JBOD},
+	}
+	if len(Workloads) != len(cases) {
+		t.Fatalf("%d workloads, want %d", len(Workloads), len(cases))
+	}
+	for _, c := range cases {
+		w, err := WorkloadByName(c.name)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if w.Requests != c.reqs || w.Disks != c.disks ||
+			float64(w.BaselineRPM) != c.rpm || w.Level != c.level {
+			t.Errorf("%s: %+v does not match the paper's table", c.name, w)
+		}
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestMemberDiskLayoutApproximatesCapacity(t *testing.T) {
+	for _, w := range Workloads {
+		l, err := w.MemberDiskLayout()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		got := l.DeratedCapacity().GB()
+		relErr := math.Abs(got-w.DiskCapacityGB) / w.DiskCapacityGB
+		if relErr > 0.45 {
+			t.Errorf("%s: member disk %.1f GB vs original %.1f GB (%.0f%% off)",
+				w.Name, got, w.DiskCapacityGB, relErr*100)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Workloads[0]
+	if err := good.Validate(); err != nil {
+		t.Errorf("paper workload invalid: %v", err)
+	}
+	bad := []func(p *Params){
+		func(p *Params) { p.Requests = 0 },
+		func(p *Params) { p.Disks = 0 },
+		func(p *Params) { p.BaselineRPM = 0 },
+		func(p *Params) { p.ReadFraction = 1.5 },
+		func(p *Params) { p.SeqFraction = -0.1 },
+		func(p *Params) { p.BatchProb = 1 },
+		func(p *Params) { p.MeanSectors = 0 },
+		func(p *Params) { p.ArrivalRate = 0 },
+		func(p *Params) { p.Streams = 0 },
+		func(p *Params) { p.LocalitySpan = 0 },
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d should invalidate", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := Workloads[0].WithRequests(500)
+	a, err := w.Generate(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Generate(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between runs with the same seed", i)
+		}
+	}
+	w2 := w
+	w2.Seed = 99
+	c, err := w2.Generate(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range c {
+		if c[i].Block == a[i].Block {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Error("different seed produced an identical trace")
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	w := Workloads[0].WithRequests(20000)
+	const vol = int64(1) << 26
+	reqs, err := w.Generate(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 20000 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	var reads, sizeSum int
+	var lastArrival time.Duration
+	for i, r := range reqs {
+		if r.Block < 0 || r.Block+int64(r.Sectors) > vol {
+			t.Fatalf("request %d out of volume: %+v", i, r)
+		}
+		if r.Sectors < 1 {
+			t.Fatalf("request %d empty", i)
+		}
+		if r.Arrival < lastArrival {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		lastArrival = r.Arrival
+		if !r.Write {
+			reads++
+		}
+		sizeSum += r.Sectors
+	}
+	readFrac := float64(reads) / float64(len(reqs))
+	if math.Abs(readFrac-w.ReadFraction) > 0.02 {
+		t.Errorf("read fraction %.3f, want ~%.2f", readFrac, w.ReadFraction)
+	}
+	meanSize := float64(sizeSum) / float64(len(reqs))
+	if math.Abs(meanSize-float64(w.MeanSectors))/float64(w.MeanSectors) > 0.15 {
+		t.Errorf("mean size %.1f sectors, want ~%d", meanSize, w.MeanSectors)
+	}
+	// The overall rate should be near the configured one.
+	rate := float64(len(reqs)-1) / lastArrival.Seconds()
+	if math.Abs(rate-w.ArrivalRate)/w.ArrivalRate > 0.10 {
+		t.Errorf("arrival rate %.0f/s, want ~%.0f", rate, w.ArrivalRate)
+	}
+}
+
+func TestGenerateSequentialityKnob(t *testing.T) {
+	seqy := Workloads[0].WithRequests(5000)
+	seqy.SeqFraction = 0.9
+	randy := seqy
+	randy.SeqFraction = 0.0
+	const vol = int64(1) << 26
+	count := func(p Params) int {
+		reqs, err := p.Generate(vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursors := map[int64]bool{}
+		seq := 0
+		for _, r := range reqs {
+			if cursors[r.Block] {
+				seq++
+			}
+			cursors[r.Block+int64(r.Sectors)] = true
+		}
+		return seq
+	}
+	if s, r := count(seqy), count(randy); s <= r*2 {
+		t.Errorf("sequentiality knob ineffective: seq-heavy %d vs random %d", s, r)
+	}
+}
+
+func TestBuildVolume(t *testing.T) {
+	for _, w := range Workloads {
+		v, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(v.Disks()) != w.Disks {
+			t.Errorf("%s: %d disks, want %d", w.Name, len(v.Disks()), w.Disks)
+		}
+		if v.Level() != w.Level {
+			t.Errorf("%s: level %v, want %v", w.Name, v.Level(), w.Level)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	w := Workloads[1].WithRequests(300)
+	reqs, err := w.Generate(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("%d round-tripped, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if reqs[i] != back[i] {
+			t.Fatalf("request %d mangled: %+v vs %+v", i, reqs[i], back[i])
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Read(strings.NewReader("not a trace\n")); err == nil {
+		t.Error("bad header should error")
+	}
+	if _, err := Read(strings.NewReader("# repro-trace v1\n1 2 3\n")); err == nil {
+		t.Error("short line should error")
+	}
+	if _, err := Read(strings.NewReader("# repro-trace v1\n1 2 3 4 X\n")); err == nil {
+		t.Error("bad op should error")
+	}
+}
+
+func TestCodecSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# repro-trace v1\n# comment\n\n100 1 200 8 R\n"
+	reqs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].ID != 1 || reqs[0].Write {
+		t.Errorf("parsed %+v", reqs)
+	}
+}
+
+func TestWithRequests(t *testing.T) {
+	w := Workloads[0].WithRequests(42)
+	if w.Requests != 42 {
+		t.Error("WithRequests did not apply")
+	}
+	if Workloads[0].Requests == 42 {
+		t.Error("WithRequests mutated the table")
+	}
+}
+
+func TestAnalyzeOpenmailProfile(t *testing.T) {
+	// The paper characterises Openmail as seek-intensive: 86% of requests
+	// move the arm. Our synthetic stand-in must share that character.
+	w := Workloads[0].WithRequests(20000)
+	vol, err := w.BuildVolume(w.BaselineRPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := w.Generate(vol.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := w.Analyze(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Requests != 20000 {
+		t.Errorf("requests = %d", prof.Requests)
+	}
+	if prof.ArmMoveFraction < 0.7 {
+		t.Errorf("arm-move fraction %.2f; Openmail should be seek-heavy (paper: 0.86)", prof.ArmMoveFraction)
+	}
+	if prof.MeanSeekCylinders <= 0 {
+		t.Error("no seek distance measured")
+	}
+	if prof.DiskRequests <= prof.Requests {
+		t.Error("RAID-5 fan-out should produce more disk I/Os than volume requests")
+	}
+	if math.Abs(prof.ReadFraction-w.ReadFraction) > 0.02 {
+		t.Errorf("read fraction %.2f vs configured %.2f", prof.ReadFraction, w.ReadFraction)
+	}
+	if math.Abs(prof.Rate-w.ArrivalRate)/w.ArrivalRate > 0.1 {
+		t.Errorf("rate %.0f vs configured %.0f", prof.Rate, w.ArrivalRate)
+	}
+}
+
+func TestAnalyzeSequentialWorkloadMovesLess(t *testing.T) {
+	// TPC-H is the most sequential workload; its arm-move fraction must be
+	// well below Openmail's.
+	mail := Workloads[0].WithRequests(8000)
+	tpch := Workloads[4].WithRequests(8000)
+	profile := func(w Params) Profile {
+		vol, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := w.Generate(vol.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Analyze(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if m, h := profile(mail), profile(tpch); h.ArmMoveFraction >= m.ArmMoveFraction {
+		t.Errorf("TPC-H arm moves (%.2f) should be below Openmail's (%.2f)",
+			h.ArmMoveFraction, m.ArmMoveFraction)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	prof, err := Workloads[0].Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Requests != 0 || prof.Rate != 0 {
+		t.Errorf("empty profile: %+v", prof)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, Workloads); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(Workloads) {
+		t.Fatalf("%d workloads round-tripped", len(back))
+	}
+	for i := range Workloads {
+		if back[i] != Workloads[i] {
+			t.Errorf("workload %d mangled:\n got %+v\nwant %+v", i, back[i], Workloads[i])
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+	if _, err := ReadConfig(strings.NewReader(`[{"name":"x","level":"raid9"}]`)); err == nil {
+		t.Error("unknown level should be rejected")
+	}
+	if _, err := ReadConfig(strings.NewReader(`[{"name":"x","level":"jbod","bogus":1}]`)); err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+	// Valid JSON but invalid workload (no requests).
+	bad := `[{"name":"x","year":2002,"seed":1,"requests":0,"disks":2,"level":"jbod",
+	"baseline_rpm":10000,"disk_capacity_gb":10,"read_fraction":0.5,"mean_sectors":8,
+	"seq_fraction":0.2,"streams":4,"arrival_rate":100,"batch_prob":0.1,"locality_span":0.5}]`
+	if _, err := ReadConfig(strings.NewReader(bad)); err == nil {
+		t.Error("invalid workload should be rejected")
+	}
+}

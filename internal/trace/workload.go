@@ -1,0 +1,245 @@
+// Package trace generates the synthetic I/O workloads that stand in for the
+// paper's five commercial traces (HPL Openmail, a UMass OLTP application and
+// Search-Engine trace, and the authors' TPC-C and TPC-H collections), which
+// are not publicly redistributable.
+//
+// Each generator is parameterised to match every statistic the paper states
+// about its trace — request count, disk count and capacity, RAID
+// organisation, baseline RPM, read/write mix, sequentiality (Openmail: 86%
+// of requests move the arm), and request-size character ("most requests span
+// multiple successive blocks") — plus an arrival burstiness tuned so the
+// baseline mean response times land in the regime Figure 4 reports. The
+// claim under test is relative: higher RPM must shift the response-time CDF
+// left by 20-60%.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/geometry"
+	"repro/internal/raid"
+	"repro/internal/scaling"
+	"repro/internal/units"
+)
+
+// Params fully describes one synthetic workload.
+type Params struct {
+	// Name labels the workload in reports.
+	Name string
+
+	// Year selects the recording densities of the member disks.
+	Year int
+
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// Requests is the number of volume-level requests to generate.
+	Requests int
+
+	// Disks is the member-disk count.
+	Disks int
+
+	// Level is the volume organisation (RAID5 for Openmail and TPC-C,
+	// JBOD otherwise, per the paper's Figure 4(a)).
+	Level raid.Level
+
+	// StripeUnit is the RAID stripe unit in sectors (0 = the paper's 16).
+	StripeUnit int
+
+	// BaselineRPM is the speed of the original system's disks.
+	BaselineRPM units.RPM
+
+	// DiskCapacityGB is the per-disk capacity of the original system; the
+	// member-disk platter count is chosen to approximate it.
+	DiskCapacityGB float64
+
+	// ReadFraction is the probability a request is a read.
+	ReadFraction float64
+
+	// MeanSectors is the mean request size in sectors (geometric law).
+	MeanSectors int
+
+	// SeqFraction is the probability a request continues its stream
+	// sequentially (no arm movement).
+	SeqFraction float64
+
+	// Streams is the number of concurrent sequential streams.
+	Streams int
+
+	// ArrivalRate is the mean volume-request arrival rate, requests/second.
+	ArrivalRate float64
+
+	// BatchProb is the probability a request arrives back-to-back with its
+	// predecessor (burstiness; the complementary gaps are exponential,
+	// rescaled to preserve ArrivalRate).
+	BatchProb float64
+
+	// LocalitySpan is the fraction of the volume a non-sequential jump
+	// stays within, centred on the stream's home region.
+	LocalitySpan float64
+
+	// WriteBack gives the array controller a battery-backed write cache
+	// (host writes complete in sub-millisecond time while destage I/Os
+	// still occupy the disks) — the standard configuration for audited
+	// TPC-C systems of the era.
+	WriteBack bool
+}
+
+// Validate reports whether the parameters are generable.
+func (p Params) Validate() error {
+	switch {
+	case p.Requests <= 0:
+		return fmt.Errorf("trace %q: no requests", p.Name)
+	case p.Disks <= 0:
+		return fmt.Errorf("trace %q: no disks", p.Name)
+	case p.BaselineRPM <= 0:
+		return fmt.Errorf("trace %q: no baseline RPM", p.Name)
+	case p.ReadFraction < 0 || p.ReadFraction > 1:
+		return fmt.Errorf("trace %q: read fraction %v", p.Name, p.ReadFraction)
+	case p.SeqFraction < 0 || p.SeqFraction > 1:
+		return fmt.Errorf("trace %q: sequential fraction %v", p.Name, p.SeqFraction)
+	case p.BatchProb < 0 || p.BatchProb >= 1:
+		return fmt.Errorf("trace %q: batch probability %v", p.Name, p.BatchProb)
+	case p.MeanSectors <= 0:
+		return fmt.Errorf("trace %q: mean sectors %d", p.Name, p.MeanSectors)
+	case p.ArrivalRate <= 0:
+		return fmt.Errorf("trace %q: arrival rate %v", p.Name, p.ArrivalRate)
+	case p.Streams <= 0:
+		return fmt.Errorf("trace %q: no streams", p.Name)
+	case p.LocalitySpan <= 0 || p.LocalitySpan > 1:
+		return fmt.Errorf("trace %q: locality span %v", p.Name, p.LocalitySpan)
+	}
+	return nil
+}
+
+// Workloads is the paper's Figure 4(a) table realised as generator
+// parameters. Request counts are the paper's; WithRequests scales them down
+// for quick runs. Arrival rates and mixes are tuned so the baseline mean
+// response times land in the paper's regime (Openmail heavily queued at
+// ~55 ms, OLTP lightly loaded at ~6 ms, and so on).
+var Workloads = []Params{
+	{
+		Name: "HPL Openmail", Year: 2000, Seed: 1,
+		Requests: 3053745, Disks: 8, Level: raid.RAID5,
+		BaselineRPM: 10000, DiskCapacityGB: 9.29,
+		ReadFraction: 0.67, MeanSectors: 12,
+		SeqFraction: 0.14, Streams: 64,
+		ArrivalRate: 270, BatchProb: 0.50, LocalitySpan: 0.65,
+	},
+	{
+		Name: "OLTP Application", Year: 1999, Seed: 2,
+		Requests: 5334945, Disks: 24, Level: raid.JBOD,
+		BaselineRPM: 10000, DiskCapacityGB: 19.07,
+		ReadFraction: 0.62, MeanSectors: 8,
+		SeqFraction: 0.35, Streams: 96,
+		ArrivalRate: 800, BatchProb: 0.25, LocalitySpan: 0.008,
+	},
+	{
+		Name: "Search-Engine", Year: 1999, Seed: 3,
+		Requests: 4579809, Disks: 6, Level: raid.JBOD,
+		BaselineRPM: 10000, DiskCapacityGB: 19.07,
+		ReadFraction: 0.98, MeanSectors: 24,
+		SeqFraction: 0.35, Streams: 48,
+		ArrivalRate: 600, BatchProb: 0.45, LocalitySpan: 0.40,
+	},
+	{
+		Name: "TPC-C", Year: 2002, Seed: 4,
+		Requests: 6155547, Disks: 4, Level: raid.RAID5,
+		BaselineRPM: 10000, DiskCapacityGB: 37.17,
+		ReadFraction: 0.55, MeanSectors: 8,
+		SeqFraction: 0.45, Streams: 64,
+		ArrivalRate: 115, BatchProb: 0.35, LocalitySpan: 0.02,
+		WriteBack: true,
+	},
+	{
+		Name: "TPC-H", Year: 2002, Seed: 5,
+		Requests: 4228725, Disks: 15, Level: raid.JBOD,
+		BaselineRPM: 7200, DiskCapacityGB: 35.96,
+		ReadFraction: 0.95, MeanSectors: 96,
+		SeqFraction: 0.85, Streams: 30,
+		ArrivalRate: 780, BatchProb: 0.35, LocalitySpan: 0.45,
+	},
+}
+
+// WorkloadByName finds a workload by (case-sensitive) name.
+func WorkloadByName(name string) (Params, error) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Params{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// WithRequests returns a copy generating n requests (scaling the workload
+// down for quick experiments while preserving its character).
+func (p Params) WithRequests(n int) Params {
+	p.Requests = n
+	return p
+}
+
+// memberPlatter is the platter size of the era's server disks.
+const memberPlatter units.Inches = 3.3
+
+// MemberDiskLayout derives a recording layout for one member disk: the
+// workload year's densities, 3.3" platters, and the platter count that best
+// approximates the original system's per-disk capacity.
+func (p Params) MemberDiskLayout() (*capacity.Layout, error) {
+	bpi, tpi := scaling.DefaultTrend().Densities(p.Year)
+	var best *capacity.Layout
+	bestErr := 0.0
+	for platters := 1; platters <= 8; platters++ {
+		l, err := capacity.New(capacity.Config{
+			Geometry: geometry.Drive{
+				PlatterDiameter: memberPlatter,
+				Platters:        platters,
+				FormFactor:      geometry.FormFactor35,
+			},
+			BPI:   bpi,
+			TPI:   tpi,
+			Zones: 30,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trace %q: %w", p.Name, err)
+		}
+		diff := abs(l.DeratedCapacity().GB() - p.DiskCapacityGB)
+		if best == nil || diff < bestErr {
+			best, bestErr = l, diff
+		}
+	}
+	return best, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BuildVolume assembles the workload's disk array at a given spindle speed.
+func (p Params) BuildVolume(rpm units.RPM) (*raid.Volume, error) {
+	layout, err := p.MemberDiskLayout()
+	if err != nil {
+		return nil, err
+	}
+	disks := make([]*disksim.Disk, p.Disks)
+	for i := range disks {
+		d, err := disksim.New(disksim.Config{Layout: layout, RPM: rpm})
+		if err != nil {
+			return nil, fmt.Errorf("trace %q: disk %d: %w", p.Name, i, err)
+		}
+		disks[i] = d
+	}
+	v, err := raid.New(p.Level, disks, p.StripeUnit)
+	if err != nil {
+		return nil, err
+	}
+	if p.WriteBack {
+		v.SetWriteBack(300 * time.Microsecond)
+	}
+	return v, nil
+}

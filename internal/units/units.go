@@ -1,0 +1,135 @@
+// Package units provides the physical units and conversions used throughout
+// the disk-drive models.
+//
+// The paper mixes unit systems freely: platter sizes are quoted in inches,
+// recording densities in bits-per-inch and tracks-per-inch, rotational speed
+// in RPM, data rates in MB/s with MB = 2^20 bytes, and capacities in GB with
+// GB = 2^30 bytes (the paper's Table 1 "Model Cap." values are only
+// reproducible with binary gigabytes). This package pins those conventions
+// down in one place so the rest of the code can be explicit about them.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conversion constants.
+const (
+	// MetersPerInch converts inches to metres.
+	MetersPerInch = 0.0254
+
+	// MB is the paper's megabyte (2^20 bytes), used for data rates.
+	MB = 1 << 20
+
+	// GB is the paper's gigabyte (2^30 bytes), used for capacities.
+	GB = 1 << 30
+
+	// SectorBytes is the size of a logical sector.
+	SectorBytes = 512
+
+	// SectorDataBits is the number of user-data bits in a sector.
+	SectorDataBits = SectorBytes * 8
+)
+
+// Inches is a length in inches. Drive geometry is quoted in inches because
+// every datasheet number in the paper is.
+type Inches float64
+
+// Meters converts to metres.
+func (in Inches) Meters() Meters { return Meters(float64(in) * MetersPerInch) }
+
+// String implements fmt.Stringer.
+func (in Inches) String() string { return fmt.Sprintf("%.2f\"", float64(in)) }
+
+// Meters is a length in metres, used by the thermal model.
+type Meters float64
+
+// Inches converts to inches.
+func (m Meters) Inches() Inches { return Inches(float64(m) / MetersPerInch) }
+
+// RPM is a rotational speed in revolutions per minute.
+type RPM float64
+
+// RadPerSec converts to angular velocity in radians per second.
+func (r RPM) RadPerSec() float64 { return float64(r) * 2 * math.Pi / 60 }
+
+// RevPerSec converts to revolutions per second.
+func (r RPM) RevPerSec() float64 { return float64(r) / 60 }
+
+// PeriodSeconds returns the duration of one revolution in seconds.
+// It returns +Inf for a stopped spindle.
+func (r RPM) PeriodSeconds() float64 {
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return 60 / float64(r)
+}
+
+// String implements fmt.Stringer.
+func (r RPM) String() string { return fmt.Sprintf("%.0f RPM", float64(r)) }
+
+// Celsius is a temperature in degrees Celsius. The models never need absolute
+// (Kelvin) temperatures because every heat-flow term depends only on
+// temperature differences.
+type Celsius float64
+
+// String implements fmt.Stringer.
+func (c Celsius) String() string { return fmt.Sprintf("%.2f C", float64(c)) }
+
+// Watts is a power in watts.
+type Watts float64
+
+// String implements fmt.Stringer.
+func (w Watts) String() string { return fmt.Sprintf("%.3f W", float64(w)) }
+
+// BPI is a linear recording density in bits per inch.
+type BPI float64
+
+// TPI is a radial track density in tracks per inch.
+type TPI float64
+
+// ArealDensity returns the areal density in bits per square inch.
+func ArealDensity(b BPI, t TPI) float64 { return float64(b) * float64(t) }
+
+// TerabitPerSqInch is one terabit per square inch, the areal density at which
+// the paper's ECC overhead jumps from 416 to 1440 bits per sector.
+const TerabitPerSqInch = 1e12
+
+// BitAspectRatio returns BPI/TPI, the paper's BAR metric.
+func BitAspectRatio(b BPI, t TPI) float64 {
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return float64(b) / float64(t)
+}
+
+// MBPerSec is a data rate in 2^20 bytes per second (the paper's MB/s).
+type MBPerSec float64
+
+// String implements fmt.Stringer.
+func (r MBPerSec) String() string { return fmt.Sprintf("%.1f MB/s", float64(r)) }
+
+// Bytes is a storage capacity in bytes.
+type Bytes int64
+
+// GB returns the capacity in the paper's binary gigabytes.
+func (b Bytes) GB() float64 { return float64(b) / GB }
+
+// Sectors returns the number of whole 512-byte sectors.
+func (b Bytes) Sectors() int64 { return int64(b) / SectorBytes }
+
+// String implements fmt.Stringer.
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.1f GB", b.GB())
+	case b >= MB:
+		return fmt.Sprintf("%.1f MB", float64(b)/MB)
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// FromSectors returns the capacity of n 512-byte sectors.
+func FromSectors(n int64) Bytes { return Bytes(n * SectorBytes) }

@@ -1,0 +1,131 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInchesMeters(t *testing.T) {
+	if got := Inches(1).Meters(); math.Abs(float64(got)-0.0254) > 1e-12 {
+		t.Errorf("1 inch = %v m, want 0.0254", got)
+	}
+	if got := Meters(0.0254).Inches(); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("0.0254 m = %v in, want 1", got)
+	}
+}
+
+func TestInchesRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		in := Inches(x)
+		back := in.Meters().Inches()
+		return math.Abs(float64(back-in)) <= 1e-9*math.Max(1, math.Abs(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRPMConversions(t *testing.T) {
+	r := RPM(60)
+	if got := r.RevPerSec(); got != 1 {
+		t.Errorf("60 RPM = %v rev/s, want 1", got)
+	}
+	if got := r.RadPerSec(); math.Abs(got-2*math.Pi) > 1e-12 {
+		t.Errorf("60 RPM = %v rad/s, want 2*pi", got)
+	}
+	if got := r.PeriodSeconds(); got != 1 {
+		t.Errorf("60 RPM period = %v s, want 1", got)
+	}
+	if got := RPM(15000).PeriodSeconds(); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("15000 RPM period = %v s, want 4 ms", got)
+	}
+}
+
+func TestRPMZeroPeriod(t *testing.T) {
+	if got := RPM(0).PeriodSeconds(); !math.IsInf(got, 1) {
+		t.Errorf("stopped spindle period = %v, want +Inf", got)
+	}
+	if got := RPM(-5).PeriodSeconds(); !math.IsInf(got, 1) {
+		t.Errorf("negative RPM period = %v, want +Inf", got)
+	}
+}
+
+func TestArealDensity(t *testing.T) {
+	// 2002 reference: 593.19 KBPI x 67.5 KTPI ~= 40 Gb/in^2.
+	got := ArealDensity(593190, 67500)
+	if math.Abs(got-4.004e10)/4.004e10 > 0.001 {
+		t.Errorf("areal density = %g, want ~4.004e10", got)
+	}
+	if got >= TerabitPerSqInch {
+		t.Error("2002 density should be sub-terabit")
+	}
+}
+
+func TestBitAspectRatio(t *testing.T) {
+	if got := BitAspectRatio(600000, 100000); got != 6 {
+		t.Errorf("BAR = %v, want 6", got)
+	}
+	if got := BitAspectRatio(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("BAR with zero TPI = %v, want +Inf", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	b := Bytes(GB)
+	if b.GB() != 1 {
+		t.Errorf("1 GiB = %v GB, want 1", b.GB())
+	}
+	if b.Sectors() != GB/512 {
+		t.Errorf("1 GiB = %d sectors, want %d", b.Sectors(), GB/512)
+	}
+	if got := FromSectors(2); got != 1024 {
+		t.Errorf("2 sectors = %v bytes, want 1024", got)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want string
+	}{
+		{Bytes(100), "100 B"},
+		{Bytes(10 * MB), "10.0 MB"},
+		{Bytes(3 * GB / 2), "1.5 GB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Inches(2.6).String(); got != "2.60\"" {
+		t.Errorf("Inches.String() = %q", got)
+	}
+	if got := RPM(15000).String(); got != "15000 RPM" {
+		t.Errorf("RPM.String() = %q", got)
+	}
+	if got := Celsius(45.22).String(); got != "45.22 C" {
+		t.Errorf("Celsius.String() = %q", got)
+	}
+	if got := MBPerSec(114.4).String(); got != "114.4 MB/s" {
+		t.Errorf("MBPerSec.String() = %q", got)
+	}
+	if got := Watts(3.9).String(); got != "3.900 W" {
+		t.Errorf("Watts.String() = %q", got)
+	}
+}
+
+func TestSectorConstants(t *testing.T) {
+	if SectorDataBits != 4096 {
+		t.Errorf("SectorDataBits = %d, want 4096", SectorDataBits)
+	}
+	if SectorBytes != 512 {
+		t.Errorf("SectorBytes = %d, want 512", SectorBytes)
+	}
+}
