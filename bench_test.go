@@ -18,6 +18,7 @@ import (
 	"repro/internal/dtm"
 	"repro/internal/geometry"
 	"repro/internal/power"
+	"repro/internal/raid"
 	"repro/internal/reliability"
 	"repro/internal/scaling"
 	"repro/internal/thermal"
@@ -547,4 +548,113 @@ func BenchmarkSpinDownAnalysis(b *testing.B) {
 		savings = res.Savings()
 	}
 	b.ReportMetric(savings*100, "energy-savings-%")
+}
+
+// degradedFixture builds a volume with member 0 failed, a recovery session,
+// and a request stream, for the degraded-mode benchmarks.
+func degradedFixture(b *testing.B, level raid.Level, n int, spares int, rebuildMB float64) (*raid.RecoverySession, []raid.Request) {
+	b.Helper()
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{Geometry: thermal.ReferenceDrive, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	disks := make([]*disksim.Disk, n)
+	for i := range disks {
+		if disks[i], err = newDisk(layout, 15020); err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, err := raid.New(level, disks, raid.DefaultStripeUnit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sp []*disksim.Disk
+	for i := 0; i < spares; i++ {
+		d, err := newDisk(layout, 15020)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = append(sp, d)
+	}
+	s, err := raid.NewRecoverySession(v, raid.RecoveryConfig{
+		Reliability: reliability.Default(), RebuildMBPerSec: rebuildMB,
+	}, sp...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.FailDisk(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	rs := syntheticStream(v.Capacity(), 400, 120)
+	reqs := make([]raid.Request, len(rs))
+	for i, r := range rs {
+		reqs[i] = raid.Request{ID: r.ID, Arrival: r.Arrival, Block: r.LBN, Sectors: r.Sectors, Write: r.Write}
+	}
+	return s, reqs
+}
+
+// BenchmarkDegradedMirrorService prices RAID-1 failover: every read lands on
+// the one survivor, every write is redundancy-exposed.
+func BenchmarkDegradedMirrorService(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, reqs := degradedFixture(b, raid.RAID1, 2, 0, raid.DefaultRebuildMBPerSec)
+		b.StartTimer()
+		rep, err := s.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum time.Duration
+		for _, c := range rep.Completions {
+			sum += c.Response()
+		}
+		penalty = float64(sum) / float64(len(rep.Completions)) / float64(time.Millisecond)
+	}
+	b.ReportMetric(penalty, "degraded-mean-ms")
+}
+
+// BenchmarkDegradedRAID5Reconstruction prices the k-1 fan-out + XOR path of
+// degraded RAID-5 reads.
+func BenchmarkDegradedRAID5Reconstruction(b *testing.B) {
+	var recon float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, reqs := degradedFixture(b, raid.RAID5, 4, 0, raid.DefaultRebuildMBPerSec)
+		b.StartTimer()
+		rep, err := s.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recon = float64(rep.Reconstructions)
+	}
+	b.ReportMetric(recon, "reconstructed-sectors")
+}
+
+// BenchmarkRebuildSession runs the mirror failover with a hot spare and a
+// rebuild fast enough to finish inside the trace, reporting the rebuild
+// window's double-failure risk.
+func BenchmarkRebuildSession(b *testing.B) {
+	var risk float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, reqs := degradedFixture(b, raid.RAID1, 2, 1, 5e5)
+		b.StartTimer()
+		rep, err := s.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed := false
+		for _, e := range rep.Events {
+			if e.Kind == raid.EventRebuildCompleted {
+				completed = true
+			}
+		}
+		if !completed {
+			b.Fatal("rebuild did not complete inside the trace")
+		}
+		risk = rep.RebuildRisk
+	}
+	b.ReportMetric(risk*1e9, "rebuild-risk-1e-9")
 }

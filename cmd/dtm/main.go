@@ -14,6 +14,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/disksim"
 	"repro/internal/dtm"
+	"repro/internal/reliability"
 	"repro/internal/scaling"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -21,19 +22,23 @@ import (
 
 func main() {
 	var (
-		slack    = flag.Bool("slack", true, "print the Figure 5 thermal-slack analysis")
-		throttle = flag.Bool("throttle", true, "print the Figure 7 throttling sweeps")
-		policy   = flag.Bool("policy", false, "run the closed-loop DTM policy comparison")
-		requests = flag.Int("requests", 30000, "requests for the policy run")
+		slack     = flag.Bool("slack", true, "print the Figure 5 thermal-slack analysis")
+		throttle  = flag.Bool("throttle", true, "print the Figure 7 throttling sweeps")
+		policy    = flag.Bool("policy", false, "run the closed-loop DTM policy comparison")
+		emergency = flag.Bool("emergency", false, "run the thermal-emergency escalation ladder demo")
+		faults    = flag.Bool("faults", false, "inject thermal off-track faults during the emergency run")
+		faultseed = flag.Int64("faultseed", 1, "seed for the fault injector (runs are reproducible per seed)")
+		failscale = flag.Float64("failscale", 1, "time acceleration for the disk-failure hazard (1 = physical rate)")
+		requests  = flag.Int("requests", 30000, "requests for the policy and emergency runs")
 	)
 	flag.Parse()
-	if err := run(*slack, *throttle, *policy, *requests); err != nil {
+	if err := run(*slack, *throttle, *policy, *emergency, *faults, *faultseed, *failscale, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "dtm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(slack, throttle, policy bool, requests int) error {
+func run(slack, throttle, policy, emergency, faults bool, faultseed int64, failscale float64, requests int) error {
 	if slack {
 		if err := runSlack(); err != nil {
 			return err
@@ -46,6 +51,11 @@ func run(slack, throttle, policy bool, requests int) error {
 	}
 	if policy {
 		if err := runPolicy(requests); err != nil {
+			return err
+		}
+	}
+	if emergency {
+		if err := runEmergency(requests, faults, faultseed, failscale); err != nil {
 			return err
 		}
 	}
@@ -214,6 +224,61 @@ func runPolicy(requests int) error {
 	}
 	fmt.Printf("  RAID-1 steered pair @24,534: mean %.2f ms, max member air %.2f C, %d role switches\n",
 		mres.MeanResponseMillis, float64(mres.MaxAirTemp), mres.Switches)
+	return nil
+}
+
+// runEmergency demonstrates the three-stage thermal-emergency ladder: the
+// 2005 average-case drive warm-started at its past-envelope worst case, with
+// (optionally) the thermal fault injector wired to the same transient so
+// off-track retries, sector remaps, and the failure hazard all track the
+// temperature the ladder is regulating.
+func runEmergency(requests int, faults bool, seed int64, failscale float64) error {
+	geom := thermal.ReferenceDrive
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		return err
+	}
+	disk, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+	if err != nil {
+		return err
+	}
+	th, err := thermal.New(geom)
+	if err != nil {
+		return err
+	}
+	hot := th.SteadyState(thermal.WorstCase(24534))
+	esc := dtm.Escalation{
+		Disk:    disk,
+		Thermal: th,
+		Levels:  []units.RPM{24534, 21000, 18000, 15020},
+		Initial: &hot,
+	}
+	if faults {
+		inj := dtm.NewThermalFaults(dtm.OffTrackModel{}, reliability.Default(), nil, seed)
+		inj.TimeAcceleration = failscale
+		esc.Faults = inj
+	}
+	reqs := policyWorkload(layout.TotalSectors(), requests, 120)
+	res, err := esc.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Thermal-emergency escalation ladder (2005 drive @24,534 RPM, hot start, %d requests)\n", requests)
+	fmt.Printf("  served %d/%d: mean %.2f ms, p95 %.2f ms, max air %.2f C\n",
+		len(res.Completions), len(reqs),
+		res.MeanResponseMillis, res.P95ResponseMillis, float64(res.MaxAirTemp))
+	fmt.Printf("  stage engagements: %d RPM step-downs, %d throttles (%.1fs), %d offlines (%.1fs)\n",
+		res.StepDowns, res.Throttles, res.ThrottledTime.Seconds(),
+		res.Offlines, res.OfflineTime.Seconds())
+	if faults {
+		fmt.Printf("  injected faults (seed %d, %gx hazard): %d off-track retries, %d sector remaps\n",
+			seed, failscale, res.Retries, res.Remaps)
+		if res.DiskFailed {
+			fmt.Printf("  disk FAILED at %v\n", res.FailedAt)
+		}
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -8,8 +8,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/reliability"
 	"repro/internal/trace"
 )
 
@@ -21,6 +25,10 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print trace profiles (arm movement, seek distances) instead of simulating")
 		config     = flag.String("config", "", "load workload definitions from this JSON file instead of the built-ins")
 		dumpConfig = flag.String("dumpconfig", "", "write the built-in workload definitions to this JSON file and exit")
+		failDisk   = flag.Int("faildisk", -1, "fail this member disk mid-run and report degraded-mode service (-1 = off)")
+		failAt     = flag.Duration("failat", 5*time.Second, "when the injected member failure strikes")
+		rebuildMB  = flag.Float64("rebuildmb", raid.DefaultRebuildMBPerSec, "rebuild rate onto the spare, MB/s")
+		noSpare    = flag.Bool("nospare", false, "run the failure without a hot spare (no rebuild)")
 	)
 	flag.Parse()
 	if *dumpConfig != "" {
@@ -30,10 +38,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *requests, *save, *analyze, *config); err != nil {
+	fi := faultInjection{disk: *failDisk, at: *failAt, rebuildMB: *rebuildMB, spare: !*noSpare}
+	if err := run(*workload, *requests, *save, *analyze, *config, fi); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
+}
+
+// faultInjection configures the -faildisk degraded-mode run.
+type faultInjection struct {
+	disk      int
+	at        time.Duration
+	rebuildMB float64
+	spare     bool
 }
 
 // dumpBuiltins writes the five paper workloads as an editable JSON config.
@@ -50,7 +67,7 @@ func dumpBuiltins(path string) error {
 	return f.Close()
 }
 
-func run(name string, requests int, save string, analyze bool, config string) error {
+func run(name string, requests int, save string, analyze bool, config string, fi faultInjection) error {
 	workloads := trace.Workloads
 	if config != "" {
 		f, err := os.Open(config)
@@ -89,6 +106,12 @@ func run(name string, requests int, save string, analyze bool, config string) er
 			}
 			continue
 		}
+		if fi.disk >= 0 {
+			if err := runDegraded(w, fi); err != nil {
+				return err
+			}
+			continue
+		}
 		res, err := core.RunFigure4(w)
 		if err != nil {
 			return err
@@ -98,6 +121,86 @@ func run(name string, requests int, save string, analyze bool, config string) er
 		fmt.Printf("  mean response improvement vs baseline: +%.1f%% +%.1f%% +%.1f%%\n\n",
 			imp[0]*100, imp[1]*100, imp[2]*100)
 	}
+	return nil
+}
+
+// runDegraded replays the workload at its baseline speed with one member
+// disk failed mid-run, servicing through the recovery engine: mirror reads
+// fail over, RAID-5 reads reconstruct from the survivors, and (with a
+// spare) the rebuild replays onto it while foreground service continues.
+func runDegraded(w trace.Params, fi faultInjection) error {
+	vol, err := w.BuildVolume(w.BaselineRPM)
+	if err != nil {
+		return err
+	}
+	if fi.disk >= len(vol.Disks()) {
+		return fmt.Errorf("workload %s has %d disks, cannot fail disk %d",
+			w.Name, len(vol.Disks()), fi.disk)
+	}
+	vol.Disks()[fi.disk].SetFaults(disksim.FailAfter{T: fi.at})
+	reqs, err := w.Generate(vol.Capacity())
+	if err != nil {
+		return err
+	}
+	var spares []*disksim.Disk
+	if fi.spare {
+		layout, err := w.MemberDiskLayout()
+		if err != nil {
+			return err
+		}
+		sp, err := disksim.New(disksim.Config{Layout: layout, RPM: w.BaselineRPM})
+		if err != nil {
+			return err
+		}
+		spares = append(spares, sp)
+	}
+	s, err := raid.NewRecoverySession(vol, raid.RecoveryConfig{
+		Reliability:     reliability.Default(),
+		RebuildMBPerSec: fi.rebuildMB,
+	}, spares...)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Run(reqs)
+	if err != nil {
+		return err
+	}
+
+	var healthySum, degradedSum time.Duration
+	healthyN, degradedN := 0, 0
+	for _, c := range rep.Completions {
+		if c.Degraded {
+			degradedSum += c.Response()
+			degradedN++
+		} else {
+			healthySum += c.Response()
+			healthyN++
+		}
+	}
+	mean := func(sum time.Duration, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(sum) / float64(n) / float64(time.Millisecond)
+	}
+	fmt.Printf("%s (%v, %d disks): disk %d fails at %v\n",
+		w.Name, vol.Level(), len(vol.Disks()), fi.disk, fi.at)
+	fmt.Printf("  served %d/%d requests: %d degraded (mean %.2f ms) vs %d healthy (mean %.2f ms)\n",
+		len(rep.Completions), len(reqs), degradedN, mean(degradedSum, degradedN),
+		healthyN, mean(healthySum, healthyN))
+	if rep.LostRequests > 0 {
+		fmt.Printf("  %d requests LOST (no redundancy on %v)\n", rep.LostRequests, vol.Level())
+	}
+	fmt.Printf("  %d on-the-fly reconstructions, %d redundancy-exposed writes\n",
+		rep.Reconstructions, rep.ExposedWrites)
+	if rep.RebuildWindow > 0 {
+		fmt.Printf("  rebuild window %v at %.0f MB/s: double-failure risk %.2e, MTTDL %.0f h\n",
+			rep.RebuildWindow.Round(time.Second), fi.rebuildMB, rep.RebuildRisk, rep.MTTDL.Hours())
+	}
+	for _, e := range rep.Events {
+		fmt.Printf("  %12v  %v disk %d\n", e.Time.Round(time.Millisecond), e.Kind, e.Disk)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -126,6 +126,11 @@ type Layout struct {
 	// error-correcting codes.
 	ECCFraction float64
 
+	// ReserveTracks is the number of tracks per surface the equal-zone
+	// split leaves unmapped at the inner edge; they back the grown-defect
+	// spare pool (see SpareSectors).
+	ReserveTracks int
+
 	// Zones is the zone table, outermost first.
 	Zones []Zone
 
@@ -165,6 +170,7 @@ func New(cfg Config) (*Layout, error) {
 	}
 	tracksPerZone := ncylin / nz
 	l.Cylinders = tracksPerZone * nz // equal zones; remainder is reserve
+	l.ReserveTracks = ncylin - l.Cylinders
 	l.ServoBits = int(math.Ceil(math.Log2(float64(l.Cylinders))))
 	if units.ArealDensity(cfg.BPI, cfg.TPI) >= units.TerabitPerSqInch {
 		l.ECCFraction = ECCFractionTerabit
@@ -244,6 +250,20 @@ func (l *Layout) DeratedCapacity() units.Bytes {
 
 // TotalSectors returns the number of addressable 512-byte sectors.
 func (l *Layout) TotalSectors() int64 { return l.totalSectors }
+
+// SpareSectors returns the grown-defect spare pool: the reserve tracks the
+// equal-zone split leaves unmapped (at least one track per surface, as every
+// production drive carries a reassignment area), at the innermost zone's
+// per-track sector count. Sectors declared unrecoverable in service are
+// remapped here; a drive that exhausts the pool is failed.
+func (l *Layout) SpareSectors() int64 {
+	reserve := l.ReserveTracks
+	if reserve < 1 {
+		reserve = 1
+	}
+	inner := l.Zones[len(l.Zones)-1].SectorsPerTrack
+	return int64(reserve) * int64(l.Surfaces) * int64(inner)
+}
 
 // SectorsPerTrackZone0 returns n_tz0, the derated sectors per track in the
 // outermost zone — the quantity the IDR formula (equation 4) needs.

@@ -52,6 +52,7 @@ const (
 	DefaultOverhead      = 200 * time.Microsecond // controller command overhead
 	DefaultHeadSwitch    = 300 * time.Microsecond // surface/track boundary cost
 	DefaultBusMBPerSec   = 160                    // Ultra160 SCSI era
+	DefaultSettle        = 500 * time.Microsecond // post-retry/relocation head settle
 )
 
 // Config describes one simulated disk.
@@ -88,10 +89,30 @@ type Config struct {
 	// RetryProb, when non-nil, is consulted once per mechanical access
 	// with the request's start time; it returns the probability that the
 	// access suffers an off-track error and must retry after one full
-	// extra revolution. This is how thermally-induced off-track errors
-	// (the failure mechanism the paper's envelope guards against) couple
-	// into service time: a DTM layer wires it to its thermal transient.
+	// extra revolution.
+	//
+	// Deprecated: RetryProb only models single retries. Use Faults with a
+	// dtm.ThermalFaults injector, which adds multi-retry, unrecoverable-
+	// sector and whole-disk failure paths. RetryProb is ignored when
+	// Faults is set.
 	RetryProb func(now time.Duration) float64
+
+	// Faults, when non-nil, is consulted once per mechanical access and
+	// can demand off-track retries, declare the sector unrecoverable
+	// (spare-pool remapping), or fail the whole disk. This is how
+	// thermally-induced errors (the failure mechanism the paper's
+	// envelope guards against) couple into service time: a DTM layer
+	// wires an injector to its thermal transient.
+	Faults FaultInjector
+
+	// Settle is the head-settle time charged per off-track retry and per
+	// spare-area relocation (0 = DefaultSettle).
+	Settle time.Duration
+
+	// SparePool overrides the grown-defect spare-sector budget:
+	// 0 = the layout's reserve-track pool (Layout.SpareSectors),
+	// negative = no spares (the first unrecoverable sector fails the disk).
+	SparePool int64
 }
 
 // Disk is one simulated drive. It is not safe for concurrent use.
@@ -107,7 +128,12 @@ type Disk struct {
 
 	served  int64
 	retries int64
-	rng     uint64 // xorshift state for retry draws
+	rng     uint64 // xorshift state for legacy RetryProb draws
+
+	failed    bool
+	failedAt  time.Duration
+	remaps    map[int64]int64 // grown-defect list: defective LBN -> spare slot
+	sparePool int64
 }
 
 // New builds a disk.
@@ -136,6 +162,16 @@ func New(cfg Config) (*Disk, error) {
 	if cfg.BusMBPerSec == 0 {
 		cfg.BusMBPerSec = DefaultBusMBPerSec
 	}
+	if cfg.Settle == 0 {
+		cfg.Settle = DefaultSettle
+	}
+	spares := cfg.SparePool
+	if spares == 0 {
+		spares = cfg.Layout.SpareSectors()
+	}
+	if spares < 0 {
+		spares = 0
+	}
 	sp := cfg.Seek
 	if sp == (perf.SeekParams{}) {
 		sp = perf.SeekParamsForPlatter(cfg.Layout.Config().Geometry.PlatterDiameter)
@@ -145,12 +181,14 @@ func New(cfg Config) (*Disk, error) {
 		return nil, err
 	}
 	return &Disk{
-		cfg:    cfg,
-		layout: cfg.Layout,
-		seek:   sm,
-		cache:  newCache(cfg.CacheBytes, cfg.CacheSegments),
-		rpm:    cfg.RPM,
-		rng:    0x9e3779b97f4a7c15,
+		cfg:       cfg,
+		layout:    cfg.Layout,
+		seek:      sm,
+		cache:     newCache(cfg.CacheBytes, cfg.CacheSegments),
+		rpm:       cfg.RPM,
+		rng:       0x9e3779b97f4a7c15,
+		remaps:    make(map[int64]int64),
+		sparePool: spares,
 	}, nil
 }
 
@@ -210,6 +248,9 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	if err := r.Validate(d.layout.TotalSectors()); err != nil {
 		return Completion{}, err
 	}
+	if d.failed {
+		return Completion{}, fmt.Errorf("request %d: %w (at %v)", r.ID, ErrDiskFailed, d.failedAt)
+	}
 	start := r.Arrival
 	if d.ready > start {
 		start = d.ready
@@ -259,11 +300,31 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	c.Parts.Transfer = transfer
 	t += transfer
 
-	// Thermally-induced off-track retry: one extra revolution.
-	if d.cfg.RetryProb != nil {
+	// Sectors already on the grown-defect list live in the spare area:
+	// charge the relocation round-trip to fetch them.
+	if d.touchesRemap(r.LBN, r.Sectors) {
+		reloc := d.remapPenalty(lastCyl)
+		c.Parts.Seek += reloc
+		c.Remapped = true
+		t += reloc
+	}
+
+	// Injected faults: off-track retries, unrecoverable sectors (remapped
+	// to spares), or whole-disk failure.
+	if d.cfg.Faults != nil {
+		var err error
+		t, err = d.applyFaults(d.cfg.Faults.Access(start, r), r, &c, t, lastCyl, period)
+		if err != nil {
+			d.headCyl = lastCyl
+			d.ready = t
+			return Completion{}, err
+		}
+	} else if d.cfg.RetryProb != nil {
+		// Deprecated single-retry path, kept for existing callers.
 		if p := d.cfg.RetryProb(start); p > 0 && d.rand() < p {
 			c.Parts.Rotation += period
 			c.Retried = true
+			c.Retries++
 			t += period
 			d.retries++
 		}

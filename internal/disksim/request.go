@@ -62,10 +62,14 @@ type Completion struct {
 	Start    time.Duration // when the disk began servicing it
 	Finish   time.Duration // when the last byte moved
 	CacheHit bool
-	// Retried marks a thermally-induced off-track retry (one extra
-	// revolution was spent re-reading).
+	// Retried marks a thermally-induced off-track retry (at least one
+	// extra revolution was spent re-reading); Retries is the count.
 	Retried bool
-	Parts   Breakdown
+	Retries int
+	// Remapped marks an access that visited the spare area — either a new
+	// unrecoverable sector being reassigned or a read of a grown defect.
+	Remapped bool
+	Parts    Breakdown
 }
 
 // Response returns the end-to-end response time (arrival to finish).

@@ -1,0 +1,281 @@
+package dtm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// EmergencyStage is a rung of the thermal-emergency escalation ladder.
+type EmergencyStage int
+
+// The ladder, mildest first. Each stage engages at a higher temperature:
+// first the spindle steps down a level (RPM step-down costs throughput but
+// keeps serving), then request admission pauses entirely (VCM-off
+// throttling, Figure 6(a)), and finally the drive spins down and goes
+// offline until it has cooled — the last resort that trades availability
+// for the drive's life, per the paper's concluding remark that DTM can be
+// used purely to lower temperature and extend life.
+const (
+	StageNormal EmergencyStage = iota
+	StageRPMStep
+	StageThrottle
+	StageOffline
+)
+
+// String implements fmt.Stringer.
+func (s EmergencyStage) String() string {
+	switch s {
+	case StageNormal:
+		return "normal"
+	case StageRPMStep:
+		return "rpm-step"
+	case StageThrottle:
+		return "throttle"
+	case StageOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("EmergencyStage(%d)", int(s))
+	}
+}
+
+// Escalation is the closed-loop emergency controller: a drive running
+// beyond its envelope-design speed serviced under a three-stage ladder,
+// with (optionally) the thermal fault injector wired to the same transient
+// so injected off-track errors and the policy that prevents them interact.
+type Escalation struct {
+	// Disk services the requests; its initial RPM is the service speed.
+	Disk *disksim.Disk
+
+	// Thermal is the drive's thermal model.
+	Thermal *thermal.Model
+
+	// Levels are the spindle speeds available to stage 1, descending from
+	// the service speed (e.g. 24534, 21000, 18000). The first entry must
+	// be the disk's initial RPM.
+	Levels []units.RPM
+
+	// StepAt, ThrottleAt and OfflineAt are the stage onset temperatures
+	// (0 = envelope, envelope+2, envelope+5).
+	StepAt, ThrottleAt, OfflineAt units.Celsius
+
+	// Hysteresis is how far the drive must cool below a stage's onset
+	// before the controller de-escalates past it (0 = 1 C).
+	Hysteresis units.Celsius
+
+	// Ambient is the external temperature (0 = default 28 C).
+	Ambient units.Celsius
+
+	// SpinTransition is one RPM change (0 = 2 s); spin-down/up for the
+	// offline stage each cost one transition too.
+	SpinTransition time.Duration
+
+	// Initial optionally warm-starts the thermal state.
+	Initial *thermal.State
+
+	// Faults, when non-nil, is installed on the disk with its Temp bound
+	// to the run's transient — the injected off-track errors then rise
+	// and fall with the very temperature the ladder is regulating.
+	Faults *ThermalFaults
+}
+
+// EscalationResult summarises a run.
+type EscalationResult struct {
+	Completions []disksim.Completion
+
+	MeanResponseMillis float64
+	P95ResponseMillis  float64
+	MaxAirTemp         units.Celsius
+
+	// StepDowns, Throttles and Offlines count stage engagements;
+	// ThrottledTime and OfflineTime are the paused durations.
+	StepDowns, Throttles, Offlines int
+	ThrottledTime, OfflineTime     time.Duration
+
+	// Retries and Remaps are the injected-fault outcomes (zero without an
+	// injector). DiskFailed is set if the drive died mid-run; the
+	// completions then cover only the requests before the failure.
+	Retries, Remaps int64
+	DiskFailed      bool
+	FailedAt        time.Duration
+
+	Elapsed time.Duration
+}
+
+func (e *Escalation) stageTemps() (step, throttle, offline units.Celsius) {
+	step, throttle, offline = e.StepAt, e.ThrottleAt, e.OfflineAt
+	if step == 0 {
+		step = thermal.Envelope
+	}
+	if throttle == 0 {
+		throttle = thermal.Envelope + 2
+	}
+	if offline == 0 {
+		offline = thermal.Envelope + 5
+	}
+	return step, throttle, offline
+}
+
+func (e *Escalation) hysteresis() units.Celsius {
+	if e.Hysteresis == 0 {
+		return 1
+	}
+	return e.Hysteresis
+}
+
+func (e *Escalation) ambientTemp() units.Celsius {
+	if e.Ambient == 0 {
+		return thermal.DefaultAmbient
+	}
+	return e.Ambient
+}
+
+func (e *Escalation) spinTransition() time.Duration {
+	if e.SpinTransition == 0 {
+		return 2 * time.Second
+	}
+	return e.SpinTransition
+}
+
+// offlineCoolLimit caps one spin-down cooling excursion.
+const offlineCoolLimit = 30 * time.Minute
+
+// Run services the requests (sorted by arrival, FCFS) under the ladder.
+func (e *Escalation) Run(reqs []disksim.Request) (EscalationResult, error) {
+	if e.Disk == nil || e.Thermal == nil {
+		return EscalationResult{}, fmt.Errorf("dtm: escalation needs a disk and a thermal model")
+	}
+	levels := e.Levels
+	if len(levels) == 0 {
+		levels = []units.RPM{e.Disk.RPM()}
+	}
+	if levels[0] != e.Disk.RPM() {
+		return EscalationResult{}, fmt.Errorf("dtm: level 0 (%v) must be the disk's service speed (%v)", levels[0], e.Disk.RPM())
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] >= levels[i-1] {
+			return EscalationResult{}, fmt.Errorf("dtm: levels must descend, got %v after %v", levels[i], levels[i-1])
+		}
+	}
+	stepAt, throttleAt, offlineAt := e.stageTemps()
+	amb := e.ambientTemp()
+	hys := e.hysteresis()
+
+	start0 := thermal.Uniform(amb)
+	if e.Initial != nil {
+		start0 = *e.Initial
+	}
+	tr := e.Thermal.NewTransient(start0)
+	clock := time.Duration(0)
+
+	if e.Faults != nil {
+		e.Faults.Temp = func(time.Duration) units.Celsius { return tr.State().Air }
+		e.Disk.SetFaults(e.Faults)
+		defer e.Disk.SetFaults(nil)
+	}
+
+	level := 0 // index into levels
+	load := func(duty float64) thermal.Load {
+		return thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}
+	}
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			tr.Advance(load(duty), to-clock)
+			clock = to
+		}
+	}
+
+	var res EscalationResult
+	var sample stats.Sample
+	maxT := start0.Air
+	note := func() {
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	for _, r := range reqs {
+		startAt := r.Arrival
+		if rt := e.Disk.ReadyTime(); rt > startAt {
+			startAt = rt
+		}
+		advance(startAt, 0)
+		note()
+
+		// Escalate, hottest stage first; each stage leaves the drive cool
+		// enough that the next check falls through.
+		air := tr.State().Air
+		if air >= offlineAt {
+			// Stage 3: spin down and go offline until cooled.
+			res.Offlines++
+			trans := e.spinTransition()
+			pause, _ := tr.AdvanceUntil(
+				thermal.Load{RPM: 0, VCMDuty: 0, Ambient: amb},
+				offlineCoolLimit,
+				func(s thermal.State) bool { return s.Air <= stepAt-hys })
+			pause += 2 * trans // spin-down and spin-up
+			clock += pause
+			res.OfflineTime += pause
+			e.Disk.Delay(clock)
+			air = tr.State().Air
+		}
+		if air >= throttleAt {
+			// Stage 2: VCM-off throttling at the current spindle speed.
+			res.Throttles++
+			pause, _ := tr.AdvanceUntil(load(0), coolLimit,
+				func(s thermal.State) bool { return s.Air <= throttleAt-hys })
+			clock += pause
+			res.ThrottledTime += pause
+			e.Disk.Delay(clock)
+			air = tr.State().Air
+		}
+		switch {
+		case air >= stepAt && level < len(levels)-1:
+			// Stage 1: one spindle step down.
+			level++
+			res.StepDowns++
+			clock += e.spinTransition()
+			e.Disk.Delay(clock)
+			if err := e.Disk.SetRPM(levels[level]); err != nil {
+				return EscalationResult{}, err
+			}
+		case air <= stepAt-hys && level > 0:
+			// De-escalate one step once the drive has cooled.
+			level--
+			clock += e.spinTransition()
+			e.Disk.Delay(clock)
+			if err := e.Disk.SetRPM(levels[level]); err != nil {
+				return EscalationResult{}, err
+			}
+		}
+
+		comp, err := e.Disk.Serve(r)
+		if err != nil {
+			if errors.Is(err, disksim.ErrDiskFailed) {
+				res.DiskFailed = true
+				res.FailedAt = e.Disk.FailedAt()
+				break
+			}
+			return EscalationResult{}, err
+		}
+		advance(comp.Finish, 1)
+		note()
+		sample.Add(comp.Response())
+		res.Completions = append(res.Completions, comp)
+	}
+
+	res.MeanResponseMillis = sample.Mean()
+	res.P95ResponseMillis = sample.Percentile(95)
+	res.MaxAirTemp = maxT
+	res.Retries = e.Disk.Retries()
+	res.Remaps = e.Disk.Remapped()
+	if n := len(res.Completions); n > 0 {
+		res.Elapsed = res.Completions[n-1].Finish - reqs[0].Arrival
+	}
+	return res, nil
+}

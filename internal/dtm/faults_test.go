@@ -1,0 +1,187 @@
+package dtm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/reliability"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func TestThermalFaultsRetriesScaleWithTemperature(t *testing.T) {
+	count := func(temp units.Celsius) (retries, unrec int) {
+		f := NewThermalFaults(OffTrackModel{}, reliability.Default(), BindSteady(temp), 42)
+		for i := 0; i < 4000; i++ {
+			af := f.Access(time.Duration(i)*time.Millisecond, disksim.Request{})
+			retries += af.Retries
+			if af.Unrecoverable {
+				unrec++
+			}
+		}
+		return retries, unrec
+	}
+	coolR, coolU := count(thermal.Envelope - 5)
+	if coolR != 0 || coolU != 0 {
+		t.Errorf("below the envelope: %d retries, %d unrecoverable; want none", coolR, coolU)
+	}
+	warmR, _ := count(thermal.Envelope + 3)
+	hotR, hotU := count(thermal.Envelope + 10)
+	if warmR == 0 || hotR <= warmR {
+		t.Errorf("retries should rise with temperature: %d at +3C, %d at +10C", warmR, hotR)
+	}
+	// At saturation (p = 0.25) a 4-retry run followed by a fifth off-track
+	// draw has probability 0.25^5 ~ 1e-3: a few unrecoverables in 4000.
+	if hotU == 0 {
+		t.Error("saturated off-track probability never produced an unrecoverable sector")
+	}
+}
+
+func TestThermalFaultsReproducible(t *testing.T) {
+	draw := func() []disksim.AccessFault {
+		f := NewThermalFaults(OffTrackModel{}, reliability.Default(),
+			BindSteady(thermal.Envelope+8), 7)
+		f.TimeAcceleration = 1e6
+		out := make([]disksim.AccessFault, 2000)
+		for i := range out {
+			out[i] = f.Access(time.Duration(i)*5*time.Millisecond, disksim.Request{})
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged with identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed diverges somewhere.
+	g := NewThermalFaults(OffTrackModel{}, reliability.Default(),
+		BindSteady(thermal.Envelope+8), 8)
+	g.TimeAcceleration = 1e6
+	diverged := false
+	for i := range a {
+		if g.Access(time.Duration(i)*5*time.Millisecond, disksim.Request{}) != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func TestThermalFaultsDrawDiskFailure(t *testing.T) {
+	f := NewThermalFaults(OffTrackModel{}, reliability.Default(),
+		BindSteady(thermal.Envelope+10), 3)
+	// Accelerate so each 10 ms gap carries ~12 days of hazard exposure.
+	f.TimeAcceleration = 1e8
+	failed := false
+	for i := 0; i < 50000 && !failed; i++ {
+		failed = f.Access(time.Duration(i)*10*time.Millisecond, disksim.Request{}).DiskFailure
+	}
+	if !failed {
+		t.Error("accelerated hazard never produced a disk failure")
+	}
+}
+
+func TestEscalationLadderBoundsTemperature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long thermal-coupled run")
+	}
+	disk, th := buildDTMDisk(t, 24534)
+	// Warm-start at the 24,534 RPM worst case (48.5 C, past the envelope)
+	// so the ladder must engage immediately.
+	hot := th.SteadyState(thermal.WorstCase(24534))
+	esc := Escalation{
+		Disk:    disk,
+		Thermal: th,
+		Levels:  []units.RPM{24534, 21000, 18000},
+		Initial: &hot,
+	}
+	reqs := dtmWorkload(t, disk.Layout().TotalSectors(), 6000, 120)
+	res, err := esc.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completions) != len(reqs) {
+		t.Fatalf("served %d of %d", len(res.Completions), len(reqs))
+	}
+	if res.StepDowns == 0 {
+		t.Error("a past-envelope start must trigger at least one RPM step-down")
+	}
+	_, _, offlineAt := esc.stageTemps()
+	if res.MaxAirTemp > offlineAt+1 {
+		t.Errorf("ladder let the drive reach %.2f C (offline stage at %.2f C)",
+			float64(res.MaxAirTemp), float64(offlineAt))
+	}
+	if res.MeanResponseMillis <= 0 {
+		t.Error("no response statistics")
+	}
+}
+
+func TestEscalationWithFaultsReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long thermal-coupled run")
+	}
+	run := func() EscalationResult {
+		disk, th := buildDTMDisk(t, 24534)
+		hot := th.SteadyState(thermal.WorstCase(24534))
+		esc := Escalation{
+			Disk:    disk,
+			Thermal: th,
+			Levels:  []units.RPM{24534, 21000},
+			Initial: &hot,
+			Faults:  NewThermalFaults(OffTrackModel{}, reliability.Default(), nil, 99),
+		}
+		res, err := esc.Run(dtmWorkload(t, disk.Layout().TotalSectors(), 3000, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Retries != b.Retries || a.Remaps != b.Remaps ||
+		len(a.Completions) != len(b.Completions) || a.Elapsed != b.Elapsed {
+		t.Fatalf("seeded runs diverged: %d/%d retries, %d/%d remaps, %d/%d completions",
+			a.Retries, b.Retries, a.Remaps, b.Remaps, len(a.Completions), len(b.Completions))
+	}
+	for i := range a.Completions {
+		if a.Completions[i] != b.Completions[i] {
+			t.Fatalf("completion %d differs between identically seeded runs", i)
+		}
+	}
+	if a.Retries == 0 {
+		t.Error("a past-envelope run with faults injected should see retries")
+	}
+}
+
+func TestEscalationRejectsBadLevels(t *testing.T) {
+	disk, th := buildDTMDisk(t, 24534)
+	esc := Escalation{Disk: disk, Thermal: th, Levels: []units.RPM{20000}}
+	if _, err := esc.Run(nil); err == nil {
+		t.Error("level 0 != service speed should be rejected")
+	}
+	esc.Levels = []units.RPM{24534, 25000}
+	if _, err := esc.Run(nil); err == nil {
+		t.Error("ascending levels should be rejected")
+	}
+	if _, err := (&Escalation{}).Run(nil); err == nil {
+		t.Error("empty escalation should be rejected")
+	}
+}
+
+func TestEmergencyStageString(t *testing.T) {
+	want := map[EmergencyStage]string{
+		StageNormal: "normal", StageRPMStep: "rpm-step",
+		StageThrottle: "throttle", StageOffline: "offline",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d: %q", int(s), s.String())
+		}
+	}
+	if EmergencyStage(9).String() == "" {
+		t.Error("unknown stage should print")
+	}
+}

@@ -62,6 +62,10 @@ func (m OffTrackModel) ProbAt(t units.Celsius) float64 {
 // Bind returns a disksim.Config.RetryProb callback that reads the current
 // air temperature from a live thermal transient. The caller must keep the
 // transient's clock in step with the disk's (the DTM controllers do).
+//
+// Deprecated: Bind feeds the single-retry RetryProb path. Build a
+// ThermalFaults injector instead — it draws multi-retry runs from this same
+// model and adds the unrecoverable-sector and disk-failure mechanisms.
 func (m OffTrackModel) Bind(tr *thermal.Transient) func(time.Duration) float64 {
 	return func(time.Duration) float64 {
 		return m.ProbAt(tr.State().Air)

@@ -1,0 +1,151 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/dtm"
+	"repro/internal/raid"
+	"repro/internal/reliability"
+	"repro/internal/scaling"
+	"repro/internal/thermal"
+)
+
+// TestMirroredVolumeSurvivesDiskLoss is the fault-tolerance chain end to
+// end: a mirrored volume under a hot trace loses a member mid-run, fails
+// over, rebuilds onto a spare, and returns to normal — with the thermal
+// off-track injector live on the surviving member the whole time. Every
+// request must complete, the degraded-mode penalty must stay bounded, and
+// the rebuild must converge.
+func TestMirroredVolumeSurvivesDiskLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fault-injection run")
+	}
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{
+		Geometry: thermal.ReferenceDrive, BPI: bpi, TPI: tpi, Zones: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(f disksim.FaultInjector) *disksim.Disk {
+		d, err := disksim.New(disksim.Config{Layout: layout, RPM: 15020, Faults: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Member 0 dies one second in; member 1 runs hot enough (envelope +3 C)
+	// that the off-track mechanism charges occasional retries but the
+	// failure hazard stays physical, i.e. negligible over a seconds-long
+	// trace.
+	survivorFaults := dtm.NewThermalFaults(dtm.OffTrackModel{}, reliability.Default(),
+		dtm.BindSteady(thermal.Envelope+3), 11)
+	disks := []*disksim.Disk{
+		mk(disksim.FailAfter{T: time.Second}),
+		mk(survivorFaults),
+	}
+	v, err := raid.New(raid.RAID1, disks, raid.DefaultStripeUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spare := mk(nil)
+	s, err := raid.NewRecoverySession(v, raid.RecoveryConfig{
+		Reliability:     reliability.Default(),
+		Temp:            thermal.Envelope + 3,
+		RebuildMBPerSec: 2e6, // converge well inside the trace
+	}, spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 1500
+	reqs := make([]raid.Request, n)
+	state := uint64(23)
+	for i := range reqs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		reqs[i] = raid.Request{
+			ID:      int64(i),
+			Arrival: time.Duration(i) * 4 * time.Millisecond,
+			Block:   int64(state % uint64(v.Capacity()-64)),
+			Sectors: 8,
+			Write:   i%5 == 0,
+		}
+	}
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Every request completes through the failure.
+	if len(rep.Completions) != n {
+		t.Fatalf("served %d of %d requests through the disk loss", len(rep.Completions), n)
+	}
+
+	// 2. The rebuild converges and clears degraded mode.
+	var failedAt, rebuiltAt time.Duration
+	var sawFail, sawRebuild bool
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case raid.EventDiskFailed:
+			sawFail, failedAt = true, e.Time
+		case raid.EventRebuildCompleted:
+			sawRebuild, rebuiltAt = true, e.Time
+		}
+	}
+	if !sawFail || !sawRebuild {
+		t.Fatalf("failure/rebuild events missing: %v", rep.Events)
+	}
+	if rebuiltAt <= failedAt {
+		t.Fatalf("rebuild completed at %v, before the failure at %v", rebuiltAt, failedAt)
+	}
+	for _, c := range rep.Completions {
+		if c.Request.Arrival > rebuiltAt && c.Degraded {
+			t.Fatalf("request %d arrived %v after rebuild yet ran degraded",
+				c.Request.ID, c.Request.Arrival-rebuiltAt)
+		}
+	}
+
+	// 3. The degraded-mode penalty is bounded: a mirror read fails over to
+	// the one survivor, so the mean degraded response must stay within a
+	// small multiple of healthy service (queueing on the halved read
+	// bandwidth, not a cliff).
+	var healthy, degraded meanAcc
+	for _, c := range rep.Completions {
+		if c.Degraded {
+			degraded.add(c.Response())
+		} else {
+			healthy.add(c.Response())
+		}
+	}
+	if degraded.n == 0 {
+		t.Fatal("no request observed degraded mode")
+	}
+	hm, dm := healthy.mean(), degraded.mean()
+	if dm > 10*hm {
+		t.Errorf("degraded mean %.2f ms is over 10x the healthy mean %.2f ms",
+			dm/float64(time.Millisecond), hm/float64(time.Millisecond))
+	}
+
+	// 4. The hot survivor saw thermal retries (the injector was live).
+	if disks[1].Retries() == 0 {
+		t.Error("the over-envelope survivor never logged an off-track retry")
+	}
+	if rep.RebuildRisk <= 0 || rep.RebuildRisk >= 1 {
+		t.Errorf("rebuild-window risk %v implausible", rep.RebuildRisk)
+	}
+}
+
+// meanAcc is a tiny mean accumulator (the full stats.Sample quantizes to
+// milliseconds; here we want raw durations).
+type meanAcc struct {
+	sum time.Duration
+	n   int
+}
+
+func (s *meanAcc) add(d time.Duration) { s.sum += d; s.n++ }
+func (s *meanAcc) mean() float64       { return float64(s.sum) / float64(s.n) }

@@ -69,6 +69,14 @@ type Completion struct {
 	SubRequests int
 	// CacheHits counts constituent disk requests served from cache.
 	CacheHits int
+	// Degraded marks a request served while a member was failed.
+	Degraded bool
+	// Reconstructed counts sectors rebuilt on the fly from the survivors
+	// (RAID-5 degraded reads; zero elsewhere).
+	Reconstructed int
+	// Exposed marks a write committed without full redundancy (parity or
+	// mirror copy lost until the rebuild completes).
+	Exposed bool
 }
 
 // Response returns the end-to-end volume response time.
@@ -84,6 +92,10 @@ type Volume struct {
 
 	writeBack time.Duration
 	readRR    int // RAID-1 read round-robin cursor
+
+	// Degraded-mode state (see recovery.go).
+	failed   []bool
+	failedAt []time.Duration
 }
 
 // SetWriteBack gives the array controller a battery-backed write cache:
@@ -116,11 +128,15 @@ func New(level Level, disks []*disksim.Disk, stripeUnit int) (*Volume, error) {
 				i, d.Layout().TotalSectors(), per)
 		}
 	}
+	// Copy the slice: the recovery engine swaps spares into members in
+	// place, which must not alias the caller's slice.
 	return &Volume{
-		disks:      disks,
+		disks:      append([]*disksim.Disk(nil), disks...),
 		level:      level,
 		stripeUnit: int64(stripeUnit),
 		perDisk:    per,
+		failed:     make([]bool, len(disks)),
+		failedAt:   make([]time.Duration, len(disks)),
 	}, nil
 }
 
@@ -179,7 +195,8 @@ func (v *Volume) mapRequest(r Request) ([]sub, error) {
 	if r.Sectors <= 0 {
 		return nil, fmt.Errorf("raid: request %d has %d sectors", r.ID, r.Sectors)
 	}
-	if r.Block < 0 || r.Block+int64(r.Sectors) > v.Capacity() {
+	// Written subtraction-side to stay overflow-safe for huge Block values.
+	if r.Block < 0 || int64(r.Sectors) > v.Capacity()-r.Block {
 		return nil, fmt.Errorf("raid: request %d range [%d,%d) outside volume [0,%d)",
 			r.ID, r.Block, r.Block+int64(r.Sectors), v.Capacity())
 	}

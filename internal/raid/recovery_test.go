@@ -1,0 +1,349 @@
+package raid
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/geometry"
+	"repro/internal/reliability"
+)
+
+func testRequests(v *Volume, n int, everyMs int) []Request {
+	reqs := make([]Request, n)
+	state := uint64(7)
+	for i := range reqs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		reqs[i] = Request{
+			ID:      int64(i),
+			Arrival: time.Duration(i*everyMs) * time.Millisecond,
+			Block:   int64(state % uint64(v.Capacity()-64)),
+			Sectors: 8,
+			Write:   i%4 == 0,
+		}
+	}
+	return reqs
+}
+
+func newSession(t *testing.T, v *Volume, spares int) *RecoverySession {
+	t.Helper()
+	var sp []*disksim.Disk
+	layout := testLayout(t)
+	for i := 0; i < spares; i++ {
+		d, err := disksim.New(disksim.Config{Layout: layout, RPM: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp = append(sp, d)
+	}
+	s, err := NewRecoverySession(v, RecoveryConfig{Reliability: reliability.Default()}, sp...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMirrorFailoverServesEveryRequest(t *testing.T) {
+	v := testVolume(t, RAID1, 2)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(0, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(v, 200, 4)
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completions) != len(reqs) {
+		t.Fatalf("served %d of %d requests", len(rep.Completions), len(reqs))
+	}
+	degraded := 0
+	for _, c := range rep.Completions {
+		if c.Finish <= c.Request.Arrival {
+			t.Fatalf("request %d finished before arriving", c.Request.ID)
+		}
+		if c.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Error("no request saw degraded mode despite the failed member")
+	}
+	if rep.ExposedWrites == 0 {
+		t.Error("degraded mirror writes must be logged as exposed")
+	}
+}
+
+func TestRAID5DegradedReadReconstructs(t *testing.T) {
+	v := testVolume(t, RAID5, 4)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Find a unit whose data lives on the failed disk.
+	var blk int64 = -1
+	for u := int64(0); u < 16; u++ {
+		if d, _, _ := v.stripeLoc(u, true); d == 1 {
+			blk = u * v.stripeUnit
+			break
+		}
+	}
+	if blk < 0 {
+		t.Fatal("no unit maps to disk 1 in the first 16")
+	}
+	c, err := s.Serve(Request{ID: 1, Block: blk, Sectors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Degraded || c.Reconstructed != 8 {
+		t.Errorf("degraded=%v reconstructed=%d, want true/8", c.Degraded, c.Reconstructed)
+	}
+	// Fan-out reads from all 3 survivors.
+	if c.SubRequests != 3 {
+		t.Errorf("reconstruction fanned to %d survivors, want 3", c.SubRequests)
+	}
+	// A read of a surviving unit stays a single I/O.
+	var aliveBlk int64 = -1
+	for u := int64(0); u < 16; u++ {
+		if d, _, _ := v.stripeLoc(u, true); d != 1 {
+			aliveBlk = u * v.stripeUnit
+			break
+		}
+	}
+	c2, err := s.Serve(Request{ID: 2, Arrival: c.Finish, Block: aliveBlk, Sectors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.SubRequests != 1 || c2.Reconstructed != 0 {
+		t.Errorf("surviving-unit read fanned to %d subs, %d reconstructed", c2.SubRequests, c2.Reconstructed)
+	}
+}
+
+func TestRAID5DegradedWritesExposeParityLoss(t *testing.T) {
+	v := testVolume(t, RAID5, 4)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	exposed := 0
+	for u := int64(0); u < 12; u++ {
+		c, err := s.Serve(Request{ID: u, Arrival: time.Duration(u) * 20 * time.Millisecond,
+			Block: u * v.stripeUnit, Sectors: 8, Write: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Exposed {
+			exposed++
+		}
+	}
+	// Over 12 consecutive units on a 4-disk array, some rows have their
+	// data or parity on the failed member.
+	if exposed == 0 {
+		t.Error("no degraded write was logged as redundancy-exposed")
+	}
+}
+
+func TestMidRunFailureFailsOver(t *testing.T) {
+	layout := testLayout(t)
+	disks := make([]*disksim.Disk, 2)
+	for i := range disks {
+		cfg := disksim.Config{Layout: layout, RPM: 10000}
+		if i == 0 {
+			cfg.Faults = disksim.FailAfter{T: 100 * time.Millisecond}
+		}
+		d, err := disksim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks[i] = d
+	}
+	v, err := New(RAID1, disks, DefaultStripeUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRecoverySession(v, RecoveryConfig{Reliability: reliability.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(testRequests(v, 300, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completions) != 300 {
+		t.Fatalf("served %d of 300 through the failure", len(rep.Completions))
+	}
+	foundFail := false
+	for _, e := range rep.Events {
+		if e.Kind == EventDiskFailed && e.Disk == 0 {
+			foundFail = true
+		}
+	}
+	if !foundFail {
+		t.Errorf("no disk-failed event recorded: %v", rep.Events)
+	}
+}
+
+func TestRebuildConvergesAndClearsDegradedMode(t *testing.T) {
+	v := testVolume(t, RAID1, 2)
+	s := newSession(t, v, 1)
+	// A fast rebuild so it completes inside the trace.
+	s.cfg.RebuildMBPerSec = 100000
+	if err := s.FailDisk(0, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(testRequests(v, 500, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started, completed bool
+	var doneAt time.Duration
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case EventRebuildStarted:
+			started = true
+		case EventRebuildCompleted:
+			completed = true
+			doneAt = e.Time
+		}
+	}
+	if !started || !completed {
+		t.Fatalf("rebuild did not converge: %v", rep.Events)
+	}
+	if rep.RebuildWindow <= 0 || rep.RebuildRisk <= 0 || rep.RebuildRisk >= 1 {
+		t.Errorf("window %v risk %v implausible", rep.RebuildWindow, rep.RebuildRisk)
+	}
+	// Requests after the rebuild completion are no longer degraded.
+	for _, c := range rep.Completions {
+		if c.Request.Arrival > doneAt && c.Degraded {
+			t.Fatalf("request %d at %v still degraded after rebuild at %v",
+				c.Request.ID, c.Request.Arrival, doneAt)
+		}
+	}
+}
+
+func TestSecondFailureIsDataLoss(t *testing.T) {
+	v := testVolume(t, RAID1, 2)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(1, time.Second); !errors.Is(err, ErrDataLoss) {
+		t.Errorf("double failure returned %v, want ErrDataLoss", err)
+	}
+}
+
+func TestRAID0FailureLosesData(t *testing.T) {
+	v := testVolume(t, RAID0, 4)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	sawLoss := false
+	for u := int64(0); u < 8; u++ {
+		_, err := s.Serve(Request{ID: u, Block: u * v.stripeUnit, Sectors: 8})
+		if errors.Is(err, ErrDataLoss) {
+			sawLoss = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawLoss {
+		t.Error("striping over a failed member must surface data loss")
+	}
+}
+
+func TestRunCountsLostRequestsOnRAID0(t *testing.T) {
+	v := testVolume(t, RAID0, 4)
+	s := newSession(t, v, 0)
+	if err := s.FailDisk(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(v, 100, 5)
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatalf("Run should survive data-loss requests, got %v", err)
+	}
+	if rep.LostRequests == 0 {
+		t.Error("no request counted as lost over a failed RAID-0 member")
+	}
+	if rep.LostRequests+len(rep.Completions) != len(reqs) {
+		t.Errorf("%d lost + %d served != %d submitted",
+			rep.LostRequests, len(rep.Completions), len(reqs))
+	}
+}
+
+func TestRecoverySessionMatchesSimulateWhenHealthy(t *testing.T) {
+	// With no failures, the per-request session must service the same
+	// requests (timing may differ slightly from the batched scheduler, but
+	// every request completes and fans out identically).
+	v1 := testVolume(t, RAID5, 4)
+	v2 := testVolume(t, RAID5, 4)
+	reqs := testRequests(v1, 100, 5)
+	batch, err := v1.Simulate(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, v2, 0)
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(rep.Completions) {
+		t.Fatalf("batched %d vs session %d completions", len(batch), len(rep.Completions))
+	}
+	for i := range batch {
+		if batch[i].SubRequests != rep.Completions[i].SubRequests {
+			t.Errorf("request %d fan-out differs: %d vs %d",
+				i, batch[i].SubRequests, rep.Completions[i].SubRequests)
+		}
+	}
+	if rep.Degraded != 0 {
+		t.Errorf("healthy run reported %d degraded requests", rep.Degraded)
+	}
+}
+
+func TestMTTDLAndRebuildRisk(t *testing.T) {
+	m := reliability.Default()
+	coolRisk := RebuildRisk(m, reliability.ReferenceTemp, 3, 10*time.Hour)
+	hotRisk := RebuildRisk(m, reliability.ReferenceTemp+15, 3, 10*time.Hour)
+	if coolRisk <= 0 || hotRisk <= coolRisk {
+		t.Errorf("risk must grow with temperature: %v vs %v", coolRisk, hotRisk)
+	}
+	// The doubling law: +15 C doubles the hazard, so the (small) risk
+	// roughly doubles too.
+	if ratio := hotRisk / coolRisk; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("+15C risk ratio %.3f, want ~2", ratio)
+	}
+	coolM := MTTDL(m, reliability.ReferenceTemp, 4, 10*time.Hour)
+	hotM := MTTDL(m, reliability.ReferenceTemp+15, 4, 10*time.Hour)
+	if coolM <= hotM*3 || hotM <= 0 {
+		t.Errorf("MTTDL should fall ~4x with +15C: %v vs %v", coolM, hotM)
+	}
+}
+
+func TestMismatchedSpareRejected(t *testing.T) {
+	v := testVolume(t, RAID1, 2)
+	other, err := disksim.New(disksim.Config{Layout: otherLayout(t), RPM: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecoverySession(v, RecoveryConfig{}, other); err == nil {
+		t.Error("capacity-mismatched spare should be rejected")
+	}
+}
+
+func otherLayout(t *testing.T) *capacity.Layout {
+	t.Helper()
+	l, err := capacity.New(capacity.Config{
+		Geometry: geometry.Drive{PlatterDiameter: 3.3, Platters: 2, FormFactor: geometry.FormFactor35},
+		BPI:      456000, TPI: 45000, Zones: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}

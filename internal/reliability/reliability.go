@@ -97,6 +97,13 @@ func (m Model) SurvivalAt(t units.Celsius, d time.Duration) float64 {
 	return math.Exp(-afr * years)
 }
 
+// FailureProb returns the probability a drive fails within d of continuous
+// operation at a steady temperature — the per-interval hazard fault
+// injectors and rebuild-window (MTTDL-style) risk estimates draw from.
+func (m Model) FailureProb(t units.Celsius, d time.Duration) float64 {
+	return 1 - m.SurvivalAt(t, d)
+}
+
 // Exposure accumulates temperature-weighted operating time so a varying
 // thermal profile (e.g. a DTM-controlled run) can be scored.
 type Exposure struct {
