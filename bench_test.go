@@ -7,6 +7,7 @@ package repro
 // cmd/tracesim replays the full request counts.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 	"repro/internal/raid"
 	"repro/internal/reliability"
 	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -657,4 +660,119 @@ func BenchmarkRebuildSession(b *testing.B) {
 		risk = rep.RebuildRisk
 	}
 	b.ReportMetric(risk*1e9, "rebuild-risk-1e-9")
+}
+
+// --- Streaming engine vs whole-trace batch (results in BENCH_sim.json) ---
+
+// benchSink defeats dead-code elimination in the streaming benchmarks.
+var benchSink int
+
+// simBenchWorkload returns the TPC-C mix scaled to n requests.
+func simBenchWorkload(b *testing.B, n int) trace.Params {
+	b.Helper()
+	for _, w := range trace.Workloads {
+		if w.Name == "TPC-C" {
+			return w.WithRequests(n)
+		}
+	}
+	b.Fatal("TPC-C workload missing")
+	return trace.Params{}
+}
+
+// BenchmarkSimTraceSource pins the memory contract of the lazy trace
+// generator: Generate materializes the whole request slice (allocations grow
+// with the trace length), while draining Stream costs a fixed handful of
+// allocations no matter how long the trace is.
+func BenchmarkSimTraceSource(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		w := simBenchWorkload(b, n)
+		vol, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sectors := vol.Capacity()
+		b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reqs, err := w.Generate(sectors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = len(reqs)
+			}
+		})
+		b.Run(fmt.Sprintf("stream-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src, err := w.Stream(sectors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				count := 0
+				for {
+					if _, ok := src.Next(); !ok {
+						break
+					}
+					count++
+				}
+				benchSink = count
+			}
+		})
+	}
+}
+
+// BenchmarkSimVolumeBatch1M replays a million TPC-C requests through the
+// whole-trace path: the request and completion slices dominate the
+// allocation profile.
+func BenchmarkSimVolumeBatch1M(b *testing.B) {
+	w := simBenchWorkload(b, 1_000_000)
+	var mean float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vol, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs, err := w.Generate(vol.Capacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		comps, err := vol.SimulateBatch(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, c := range comps {
+			sum += c.Response().Seconds() * 1e3
+		}
+		mean = sum / float64(len(comps))
+	}
+	b.ReportMetric(mean, "mean-ms")
+}
+
+// BenchmarkSimVolumeStream1M is the same workload on the event engine with
+// the O(1) streaming accumulators: no slice ever holds the trace, so the
+// allocation count stays flat as the request count grows.
+func BenchmarkSimVolumeStream1M(b *testing.B) {
+	w := simBenchWorkload(b, 1_000_000)
+	var m float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vol, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := w.Stream(vol.Capacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mean stats.Running
+		err = vol.RunStream(sim.NewEngine(), src,
+			sim.SinkFunc[raid.Completion](func(c raid.Completion) { mean.Add(c.Response()) }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = mean.Mean()
+	}
+	b.ReportMetric(m, "mean-ms")
 }

@@ -16,6 +16,8 @@ import (
 	"repro/internal/dtm"
 	"repro/internal/reliability"
 	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -128,7 +130,11 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
-	reqs := policyWorkload(layout.TotalSectors(), requests, 120)
+	// Each controller streams the same seeded workload from a fresh source:
+	// nothing is materialized, and the 95th percentiles are P² estimates.
+	src := func() sim.Source[disksim.Request] {
+		return policySource(layout.TotalSectors(), requests, 120)
+	}
 
 	fmt.Printf("Closed-loop DTM policy comparison (2005 drive, %d random requests at 120/s)\n", requests)
 
@@ -137,16 +143,13 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
-	comps, err := slow.Simulate(reqs)
+	var envMean stats.Running
+	err = slow.RunStream(sim.NewEngine(), src(),
+		sim.SinkFunc[disksim.Completion](func(c disksim.Completion) { envMean.Add(c.Response()) }))
 	if err != nil {
 		return err
 	}
-	var sum time.Duration
-	for _, c := range comps {
-		sum += c.Response()
-	}
-	fmt.Printf("  envelope design @15,020 RPM: mean %.2f ms\n",
-		float64(sum)/float64(len(comps))/float64(time.Millisecond))
+	fmt.Printf("  envelope design @15,020 RPM: mean %.2f ms\n", envMean.Mean())
 
 	// Average-case design at the 2005 target speed with watermark throttling.
 	fast, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
@@ -154,7 +157,7 @@ func runPolicy(requests int) error {
 		return err
 	}
 	ctl := dtm.Controller{Disk: fast, Thermal: th, Mode: dtm.VCMOnly}
-	res, err := ctl.Run(reqs)
+	res, err := ctl.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
@@ -173,7 +176,7 @@ func runPolicy(requests int) error {
 		return err
 	}
 	ramp := dtm.SlackRamp{Disk: base, Thermal: th2, BoostRPM: 24534}
-	rres, err := ramp.Run(reqs)
+	rres, err := ramp.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
@@ -196,7 +199,7 @@ func runPolicy(requests int) error {
 		Thermal: th3,
 		Levels:  []units.RPM{15020, 18000, 21000, 24534},
 	}
-	dres, err := drpm.Run(reqs)
+	dres, err := drpm.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
@@ -217,8 +220,10 @@ func runPolicy(requests int) error {
 		}
 		mdisks[i], mtherm[i] = d, th
 	}
+	// The mirror policy steers between members and keeps its batch API; it
+	// is the one consumer here that still collects the workload.
 	mirror := dtm.MirrorPolicy{Disks: mdisks, Thermal: mtherm}
-	mres, err := mirror.Run(reqs)
+	mres, err := mirror.Run(sim.Collect(src()))
 	if err != nil {
 		return err
 	}
@@ -259,14 +264,15 @@ func runEmergency(requests int, faults bool, seed int64, failscale float64) erro
 		inj.TimeAcceleration = failscale
 		esc.Faults = inj
 	}
-	reqs := policyWorkload(layout.TotalSectors(), requests, 120)
-	res, err := esc.Run(reqs)
+	var served int
+	res, err := esc.RunStream(sim.NewEngine(), policySource(layout.TotalSectors(), requests, 120),
+		sim.SinkFunc[disksim.Completion](func(disksim.Completion) { served++ }))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Thermal-emergency escalation ladder (2005 drive @24,534 RPM, hot start, %d requests)\n", requests)
 	fmt.Printf("  served %d/%d: mean %.2f ms, p95 %.2f ms, max air %.2f C\n",
-		len(res.Completions), len(reqs),
+		served, requests,
 		res.MeanResponseMillis, res.P95ResponseMillis, float64(res.MaxAirTemp))
 	fmt.Printf("  stage engagements: %d RPM step-downs, %d throttles (%.1fs), %d offlines (%.1fs)\n",
 		res.StepDowns, res.Throttles, res.ThrottledTime.Seconds(),
@@ -282,19 +288,27 @@ func runEmergency(requests int, faults bool, seed int64, failscale float64) erro
 	return nil
 }
 
-func policyWorkload(total int64, n int, rate float64) []disksim.Request {
+// policySource yields the seeded synthetic policy workload lazily; every
+// call returns a fresh source replaying the identical sequence, so each
+// controller sees the same requests without the trace ever being
+// materialized.
+func policySource(total int64, n int, rate float64) sim.Source[disksim.Request] {
 	rng := rand.New(rand.NewSource(11))
-	reqs := make([]disksim.Request, n)
 	now := 0.0
-	for i := range reqs {
+	i := 0
+	return sim.SourceFunc[disksim.Request](func() (disksim.Request, bool) {
+		if i >= n {
+			return disksim.Request{}, false
+		}
 		now += rng.ExpFloat64() / rate
-		reqs[i] = disksim.Request{
+		r := disksim.Request{
 			ID:      int64(i),
 			Arrival: time.Duration(now * float64(time.Second)),
 			LBN:     rng.Int63n(total - 64),
 			Sectors: 8,
 			Write:   rng.Float64() < 0.3,
 		}
-	}
-	return reqs
+		i++
+		return r, true
+	})
 }

@@ -14,6 +14,8 @@ import (
 	"repro/internal/disksim"
 	"repro/internal/raid"
 	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -29,6 +31,7 @@ func main() {
 		failAt     = flag.Duration("failat", 5*time.Second, "when the injected member failure strikes")
 		rebuildMB  = flag.Float64("rebuildmb", raid.DefaultRebuildMBPerSec, "rebuild rate onto the spare, MB/s")
 		noSpare    = flag.Bool("nospare", false, "run the failure without a hot spare (no rebuild)")
+		exact      = flag.Bool("exact", false, "collect whole traces for exact percentiles (O(trace) memory) instead of streaming")
 	)
 	flag.Parse()
 	if *dumpConfig != "" {
@@ -39,7 +42,7 @@ func main() {
 		return
 	}
 	fi := faultInjection{disk: *failDisk, at: *failAt, rebuildMB: *rebuildMB, spare: !*noSpare}
-	if err := run(*workload, *requests, *save, *analyze, *config, fi); err != nil {
+	if err := run(*workload, *requests, *save, *analyze, *config, *exact, fi); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
@@ -67,7 +70,7 @@ func dumpBuiltins(path string) error {
 	return f.Close()
 }
 
-func run(name string, requests int, save string, analyze bool, config string, fi faultInjection) error {
+func run(name string, requests int, save string, analyze bool, config string, exact bool, fi faultInjection) error {
 	workloads := trace.Workloads
 	if config != "" {
 		f, err := os.Open(config)
@@ -112,7 +115,16 @@ func run(name string, requests int, save string, analyze bool, config string, fi
 			}
 			continue
 		}
-		res, err := core.RunFigure4(w)
+		// The streaming path replays each speed straight from the seeded
+		// generator in O(1) memory (P² 95th percentile); -exact collects
+		// the trace for exact order statistics.
+		var res core.WorkloadResult
+		var err error
+		if exact {
+			res, err = core.RunFigure4(w)
+		} else {
+			res, err = core.RunFigure4Stream(w)
+		}
 		if err != nil {
 			return err
 		}
@@ -138,10 +150,11 @@ func runDegraded(w trace.Params, fi faultInjection) error {
 			w.Name, len(vol.Disks()), fi.disk)
 	}
 	vol.Disks()[fi.disk].SetFaults(disksim.FailAfter{T: fi.at})
-	reqs, err := w.Generate(vol.Capacity())
+	src, err := w.Stream(vol.Capacity())
 	if err != nil {
 		return err
 	}
+	total := src.Remaining()
 	var spares []*disksim.Disk
 	if fi.spare {
 		layout, err := w.MemberDiskLayout()
@@ -161,33 +174,27 @@ func runDegraded(w trace.Params, fi faultInjection) error {
 	if err != nil {
 		return err
 	}
-	rep, err := s.Run(reqs)
+	// Stream the replay: the healthy/degraded split is accumulated per
+	// completion, so nothing is retained.
+	var healthy, degraded stats.Running
+	err = s.RunStream(sim.NewEngine(), src,
+		sim.SinkFunc[raid.Completion](func(c raid.Completion) {
+			if c.Degraded {
+				degraded.Add(c.Response())
+			} else {
+				healthy.Add(c.Response())
+			}
+		}))
 	if err != nil {
 		return err
 	}
+	rep := s.Report()
 
-	var healthySum, degradedSum time.Duration
-	healthyN, degradedN := 0, 0
-	for _, c := range rep.Completions {
-		if c.Degraded {
-			degradedSum += c.Response()
-			degradedN++
-		} else {
-			healthySum += c.Response()
-			healthyN++
-		}
-	}
-	mean := func(sum time.Duration, n int) float64 {
-		if n == 0 {
-			return 0
-		}
-		return float64(sum) / float64(n) / float64(time.Millisecond)
-	}
 	fmt.Printf("%s (%v, %d disks): disk %d fails at %v\n",
 		w.Name, vol.Level(), len(vol.Disks()), fi.disk, fi.at)
 	fmt.Printf("  served %d/%d requests: %d degraded (mean %.2f ms) vs %d healthy (mean %.2f ms)\n",
-		len(rep.Completions), len(reqs), degradedN, mean(degradedSum, degradedN),
-		healthyN, mean(healthySum, healthyN))
+		healthy.N()+degraded.N(), total, degraded.N(), degraded.Mean(),
+		healthy.N(), healthy.Mean())
 	if rep.LostRequests > 0 {
 		fmt.Printf("  %d requests LOST (no redundancy on %v)\n", rep.LostRequests, vol.Level())
 	}

@@ -4,6 +4,10 @@
 // let the watermark throttling controller keep it inside the 45.22 C
 // envelope. Compare against the conservative envelope-design drive.
 //
+// The requests are never materialized: both runs pull them lazily from a
+// seeded source on the event engine, and the response summaries come from
+// the O(1) streaming accumulators (running mean, P² 95th percentile).
+//
 // Run with:
 //
 //	go run ./examples/throttledserver
@@ -19,6 +23,7 @@ import (
 	"repro/internal/disksim"
 	"repro/internal/dtm"
 	"repro/internal/scaling"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -33,11 +38,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Fifteen minutes of 80/s random 4 KB requests (30% writes) with one
-	// four-minute spike at 170/s — only the spike pushes the average-case
-	// drive into its thermal guard band.
-	reqs := workload(layout.TotalSectors())
-
 	fmt.Println("OLTP stream on a 2005 drive: envelope design vs average-case + DTM")
 
 	// Conservative design: the fastest speed whose worst case stays inside
@@ -47,20 +47,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	comps, err := slow.Simulate(reqs)
+	var slowMean stats.Running
+	slowP95 := stats.MustP2(0.95)
+	err = slow.RunStream(sim.NewEngine(), workload(layout.TotalSectors()),
+		sim.SinkFunc[disksim.Completion](func(c disksim.Completion) {
+			slowMean.Add(c.Response())
+			slowP95.Add(c.Response())
+		}))
 	if err != nil {
 		log.Fatal(err)
-	}
-	var slowStats stats.Sample
-	for _, c := range comps {
-		slowStats.Add(c.Response())
 	}
 	fmt.Printf("  envelope design @%v:\n", envRPM)
 	fmt.Printf("    mean response %.2f ms, p95 %.1f ms (no DTM needed, but the surge\n"+
 		"    saturates it too: its raw capacity is ~150 req/s)\n",
-		slowStats.Mean(), slowStats.Percentile(95))
+		slowMean.Mean(), slowP95.Value())
 
 	// Average-case design: 24,534 RPM with the thermal watermark controller.
+	// SampleEvery adds a once-a-second temperature observation tick on the
+	// same event clock the requests are admitted on.
 	fast, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
 	if err != nil {
 		log.Fatal(err)
@@ -72,8 +76,12 @@ func main() {
 	// The server has been busy all afternoon: start from the steady state
 	// of 40%-duty operation rather than a cold soak.
 	warm := th.SteadyState(thermal.Load{RPM: 24534, VCMDuty: 0.62, Ambient: thermal.DefaultAmbient})
-	ctl := dtm.Controller{Disk: fast, Thermal: th, Mode: dtm.VCMOnly, Initial: &warm}
-	res, err := ctl.Run(reqs)
+	ctl := dtm.Controller{
+		Disk: fast, Thermal: th, Mode: dtm.VCMOnly, Initial: &warm,
+		SampleEvery: time.Second,
+	}
+	res, err := ctl.RunStream(sim.NewEngine(), workload(layout.TotalSectors()),
+		sim.Discard[disksim.Completion]())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,27 +92,33 @@ func main() {
 		res.ThrottleEvents, res.ThrottledTime.Seconds(), res.Elapsed.Seconds())
 }
 
-func workload(total int64) []disksim.Request {
+// workload yields fifteen minutes of 80/s random 4 KB requests (30% writes)
+// with one four-minute spike at 170/s — only the spike pushes the
+// average-case drive into its thermal guard band. Every call returns a
+// fresh source replaying the identical seeded sequence.
+func workload(total int64) sim.Source[disksim.Request] {
 	rng := rand.New(rand.NewSource(42))
-	var reqs []disksim.Request
 	now := 0.0
 	id := int64(0)
 	const duration = 900.0 // seconds
-	for now < duration {
+	return sim.SourceFunc[disksim.Request](func() (disksim.Request, bool) {
+		if now >= duration {
+			return disksim.Request{}, false
+		}
 		rate := 80.0
 		// One four-minute surge starting at minute six.
 		if now >= 360 && now < 600 {
 			rate = 170
 		}
 		now += rng.ExpFloat64() / rate
-		reqs = append(reqs, disksim.Request{
+		r := disksim.Request{
 			ID:      id,
 			Arrival: time.Duration(now * float64(time.Second)),
 			LBN:     rng.Int63n(total - 16),
 			Sectors: 8,
 			Write:   rng.Float64() < 0.3,
-		})
+		}
 		id++
-	}
-	return reqs
+		return r, true
+	})
 }

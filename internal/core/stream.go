@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/raid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// RunFigure4Stream is RunFigure4 without ever materializing the trace: each
+// RPM step re-streams the workload from its seed (the generator is
+// deterministic, so every speed replays the identical request sequence) and
+// summarises completions with the O(1) accumulators in internal/stats.
+// Memory stays constant in the request count, so the paper's sweep runs on
+// traces far past what a collected slice would hold.
+//
+// MeanMillis and the bucketed CDF match the batch runner exactly (same
+// additions in the same order; bucket membership is exact). P95Millis is a
+// P² estimate rather than the exact order statistic.
+func RunFigure4Stream(p trace.Params) (WorkloadResult, error) {
+	return RunFigure4StepsStream(p, Figure4Steps(p.BaselineRPM))
+}
+
+// RunFigure4StepsStream runs an explicit RPM sweep on the streaming path.
+func RunFigure4StepsStream(p trace.Params, steps []units.RPM) (WorkloadResult, error) {
+	res := WorkloadResult{Workload: p}
+	for _, rpm := range steps {
+		vol, err := p.BuildVolume(rpm)
+		if err != nil {
+			return res, err
+		}
+		src, err := p.Stream(vol.Capacity())
+		if err != nil {
+			return res, err
+		}
+
+		var mean stats.Running
+		p95 := stats.MustP2(0.95)
+		cdf := stats.NewFigure4Counts()
+		var hits, subs int
+		err = vol.RunStream(sim.NewEngine(), src,
+			sim.SinkFunc[raid.Completion](func(c raid.Completion) {
+				r := c.Response()
+				mean.Add(r)
+				p95.Add(r)
+				cdf.Add(r)
+				hits += c.CacheHits
+				subs += c.SubRequests
+			}))
+		if err != nil {
+			return res, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
+		}
+
+		step := RPMStep{
+			RPM:        rpm,
+			MeanMillis: mean.Mean(),
+			CDF:        cdf.CDF(),
+			P95Millis:  p95.Value(),
+		}
+		if subs > 0 {
+			step.CacheHitFraction = float64(hits) / float64(subs)
+		}
+		res.Steps = append(res.Steps, step)
+	}
+	return res, nil
+}

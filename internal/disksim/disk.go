@@ -376,28 +376,16 @@ func (d *Disk) transferTime(loc capacity.Location, sectors int, period time.Dura
 	return total, cyl
 }
 
-// Simulate services a batch of requests under the configured scheduler and
-// returns their completions in service order.
-func (d *Disk) Simulate(reqs []Request) ([]Completion, error) {
-	sorted := make([]Request, len(reqs))
-	copy(sorted, reqs)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+// stableSortByArrival sorts requests by arrival, preserving input order for
+// ties (the per-disk ordering the batch path has always used).
+func stableSortByArrival(reqs []Request) {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+}
 
-	if d.cfg.Scheduler == FCFS {
-		out := make([]Completion, 0, len(sorted))
-		for _, r := range sorted {
-			c, err := d.Serve(r)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-		}
-		return out, nil
-	}
-
-	// SSTF/SPTF/LOOK: among requests that have arrived by the disk's ready
-	// time, pick by the discipline; if none have arrived, jump to the next
-	// arrival.
+// simulateQueued services an arrival-sorted batch under the reordering
+// disciplines: among requests that have arrived by the disk's ready time,
+// pick by the discipline; if none have arrived, jump to the next arrival.
+func (d *Disk) simulateQueued(sorted []Request) ([]Completion, error) {
 	out := make([]Completion, 0, len(sorted))
 	pending := make([]Request, 0, 64)
 	i := 0

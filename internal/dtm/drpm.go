@@ -1,11 +1,10 @@
 package dtm
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/disksim"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -44,6 +43,10 @@ type DRPM struct {
 
 	// Initial optionally warm-starts the thermal state.
 	Initial *thermal.State
+
+	// SampleEvery, when positive, adds a periodic temperature-observation
+	// tick on the event-engine clock during RunStream (zero = off).
+	SampleEvery time.Duration
 }
 
 // DRPMResult summarises a run.
@@ -89,90 +92,16 @@ func (p *DRPM) transition() time.Duration {
 }
 
 // Run services requests (sorted by arrival) under the level-walking policy.
+// It is the batch wrapper over RunStream, with the response percentile
+// computed exactly from the retained responses rather than P²-estimated.
 func (p *DRPM) Run(reqs []disksim.Request) (DRPMResult, error) {
-	if p.Disk == nil || p.Thermal == nil {
-		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs a disk and a thermal model")
-	}
-	if len(p.Levels) < 2 {
-		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs at least 2 levels, have %d", len(p.Levels))
-	}
-	levels := append([]units.RPM(nil), p.Levels...)
-	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
-	level := -1
-	for i, l := range levels {
-		if l == p.Disk.RPM() {
-			level = i
-			break
-		}
-	}
-	if level < 0 {
-		return DRPMResult{}, fmt.Errorf("dtm: disk speed %v is not a configured level", p.Disk.RPM())
-	}
-
-	amb := p.ambient()
-	start0 := thermal.Uniform(amb)
-	if p.Initial != nil {
-		start0 = *p.Initial
-	}
-	tr := p.Thermal.NewTransient(start0)
-	clock := time.Duration(0)
-
-	res := DRPMResult{TimeAtLevel: make(map[units.RPM]time.Duration, len(levels))}
 	var sample stats.Sample
-	maxT := start0.Air
-
-	advance := func(to time.Duration, duty float64) {
-		if to > clock {
-			d := to - clock
-			tr.Advance(thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}, d)
-			res.TimeAtLevel[levels[level]] += d
-			clock = to
-		}
-		if a := tr.State().Air; a > maxT {
-			maxT = a
-		}
+	res, err := p.RunStream(sim.NewEngine(), sim.FromSlice(reqs),
+		sim.SinkFunc[disksim.Completion](func(c disksim.Completion) { sample.Add(c.Response()) }))
+	if err != nil {
+		return DRPMResult{}, err
 	}
-
-	for _, r := range reqs {
-		start := r.Arrival
-		if rt := p.Disk.ReadyTime(); rt > start {
-			start = rt
-		}
-		advance(start, 0)
-
-		// Walk the ladder between requests.
-		switch air := tr.State().Air; {
-		case air >= p.stepDownAt() && level > 0:
-			level--
-			res.Transitions++
-			clock += p.transition()
-			p.Disk.Delay(clock)
-			if err := p.Disk.SetRPM(levels[level]); err != nil {
-				return DRPMResult{}, err
-			}
-		case air <= p.stepUpBelow() && level < len(levels)-1:
-			level++
-			res.Transitions++
-			clock += p.transition()
-			p.Disk.Delay(clock)
-			if err := p.Disk.SetRPM(levels[level]); err != nil {
-				return DRPMResult{}, err
-			}
-		}
-
-		comp, err := p.Disk.Serve(r)
-		if err != nil {
-			return DRPMResult{}, err
-		}
-		advance(comp.Finish, 1)
-		sample.Add(comp.Response())
-		if comp.Finish > res.Elapsed {
-			res.Elapsed = comp.Finish
-		}
-	}
-
 	res.MeanResponseMillis = sample.Mean()
 	res.P95ResponseMillis = sample.Percentile(95)
-	res.MaxAirTemp = maxT
 	return res, nil
 }

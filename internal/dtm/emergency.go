@@ -1,11 +1,11 @@
 package dtm
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/disksim"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -82,6 +82,10 @@ type Escalation struct {
 	// to the run's transient — the injected off-track errors then rise
 	// and fall with the very temperature the ladder is regulating.
 	Faults *ThermalFaults
+
+	// SampleEvery, when positive, adds a periodic temperature-observation
+	// tick on the event-engine clock during RunStream (zero = off).
+	SampleEvery time.Duration
 }
 
 // EscalationResult summarises a run.
@@ -145,137 +149,22 @@ func (e *Escalation) spinTransition() time.Duration {
 // offlineCoolLimit caps one spin-down cooling excursion.
 const offlineCoolLimit = 30 * time.Minute
 
-// Run services the requests (sorted by arrival, FCFS) under the ladder.
+// Run services the requests (sorted by arrival, FCFS) under the ladder. It
+// is the collect-into-slice wrapper over RunStream, with the response
+// percentile computed exactly from the retained completions rather than
+// P²-estimated.
 func (e *Escalation) Run(reqs []disksim.Request) (EscalationResult, error) {
-	if e.Disk == nil || e.Thermal == nil {
-		return EscalationResult{}, fmt.Errorf("dtm: escalation needs a disk and a thermal model")
+	var collect sim.Appender[disksim.Completion]
+	res, err := e.RunStream(sim.NewEngine(), sim.FromSlice(reqs), &collect)
+	if err != nil {
+		return EscalationResult{}, err
 	}
-	levels := e.Levels
-	if len(levels) == 0 {
-		levels = []units.RPM{e.Disk.RPM()}
-	}
-	if levels[0] != e.Disk.RPM() {
-		return EscalationResult{}, fmt.Errorf("dtm: level 0 (%v) must be the disk's service speed (%v)", levels[0], e.Disk.RPM())
-	}
-	for i := 1; i < len(levels); i++ {
-		if levels[i] >= levels[i-1] {
-			return EscalationResult{}, fmt.Errorf("dtm: levels must descend, got %v after %v", levels[i], levels[i-1])
-		}
-	}
-	stepAt, throttleAt, offlineAt := e.stageTemps()
-	amb := e.ambientTemp()
-	hys := e.hysteresis()
-
-	start0 := thermal.Uniform(amb)
-	if e.Initial != nil {
-		start0 = *e.Initial
-	}
-	tr := e.Thermal.NewTransient(start0)
-	clock := time.Duration(0)
-
-	if e.Faults != nil {
-		e.Faults.Temp = func(time.Duration) units.Celsius { return tr.State().Air }
-		e.Disk.SetFaults(e.Faults)
-		defer e.Disk.SetFaults(nil)
-	}
-
-	level := 0 // index into levels
-	load := func(duty float64) thermal.Load {
-		return thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}
-	}
-	advance := func(to time.Duration, duty float64) {
-		if to > clock {
-			tr.Advance(load(duty), to-clock)
-			clock = to
-		}
-	}
-
-	var res EscalationResult
+	res.Completions = collect.Items
 	var sample stats.Sample
-	maxT := start0.Air
-	note := func() {
-		if t := tr.State().Air; t > maxT {
-			maxT = t
-		}
-	}
-
-	for _, r := range reqs {
-		startAt := r.Arrival
-		if rt := e.Disk.ReadyTime(); rt > startAt {
-			startAt = rt
-		}
-		advance(startAt, 0)
-		note()
-
-		// Escalate, hottest stage first; each stage leaves the drive cool
-		// enough that the next check falls through.
-		air := tr.State().Air
-		if air >= offlineAt {
-			// Stage 3: spin down and go offline until cooled.
-			res.Offlines++
-			trans := e.spinTransition()
-			pause, _ := tr.AdvanceUntil(
-				thermal.Load{RPM: 0, VCMDuty: 0, Ambient: amb},
-				offlineCoolLimit,
-				func(s thermal.State) bool { return s.Air <= stepAt-hys })
-			pause += 2 * trans // spin-down and spin-up
-			clock += pause
-			res.OfflineTime += pause
-			e.Disk.Delay(clock)
-			air = tr.State().Air
-		}
-		if air >= throttleAt {
-			// Stage 2: VCM-off throttling at the current spindle speed.
-			res.Throttles++
-			pause, _ := tr.AdvanceUntil(load(0), coolLimit,
-				func(s thermal.State) bool { return s.Air <= throttleAt-hys })
-			clock += pause
-			res.ThrottledTime += pause
-			e.Disk.Delay(clock)
-			air = tr.State().Air
-		}
-		switch {
-		case air >= stepAt && level < len(levels)-1:
-			// Stage 1: one spindle step down.
-			level++
-			res.StepDowns++
-			clock += e.spinTransition()
-			e.Disk.Delay(clock)
-			if err := e.Disk.SetRPM(levels[level]); err != nil {
-				return EscalationResult{}, err
-			}
-		case air <= stepAt-hys && level > 0:
-			// De-escalate one step once the drive has cooled.
-			level--
-			clock += e.spinTransition()
-			e.Disk.Delay(clock)
-			if err := e.Disk.SetRPM(levels[level]); err != nil {
-				return EscalationResult{}, err
-			}
-		}
-
-		comp, err := e.Disk.Serve(r)
-		if err != nil {
-			if errors.Is(err, disksim.ErrDiskFailed) {
-				res.DiskFailed = true
-				res.FailedAt = e.Disk.FailedAt()
-				break
-			}
-			return EscalationResult{}, err
-		}
-		advance(comp.Finish, 1)
-		note()
+	for _, comp := range res.Completions {
 		sample.Add(comp.Response())
-		res.Completions = append(res.Completions, comp)
 	}
-
 	res.MeanResponseMillis = sample.Mean()
 	res.P95ResponseMillis = sample.Percentile(95)
-	res.MaxAirTemp = maxT
-	res.Retries = e.Disk.Retries()
-	res.Remaps = e.Disk.Remapped()
-	if n := len(res.Completions); n > 0 {
-		res.Elapsed = res.Completions[n-1].Finish - reqs[0].Arrival
-	}
 	return res, nil
 }

@@ -1,10 +1,10 @@
 package dtm
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/disksim"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -58,6 +58,13 @@ type Controller struct {
 	// conservative: the thermal controller sees the worst-case duty the
 	// envelope is defined against.
 	SeekDuty bool
+
+	// SampleEvery, when positive, adds a periodic temperature-observation
+	// tick on the event-engine clock during RunStream: the thermal
+	// transient advances through idle gaps in sample-sized steps and
+	// MaxAirTemp reflects those observations. Zero (the default) keeps
+	// runs bit-identical to the batch path.
+	SampleEvery time.Duration
 }
 
 // Result summarises a controlled run.
@@ -120,95 +127,22 @@ func (c *Controller) spinTransition() time.Duration {
 const coolLimit = 10 * time.Minute
 
 // Run services the requests (which must be sorted by arrival; FCFS) under
-// the thermal policy, starting from the drive soaked at ambient.
+// the thermal policy, starting from the drive soaked at ambient. It is the
+// collect-into-slice wrapper over RunStream, with the response percentile
+// computed exactly from the retained completions rather than P²-estimated.
 func (c *Controller) Run(reqs []disksim.Request) (Result, error) {
-	if c.Disk == nil || c.Thermal == nil {
-		return Result{}, fmt.Errorf("dtm: controller needs a disk and a thermal model")
+	var collect sim.Appender[disksim.Completion]
+	res, err := c.RunStream(sim.NewEngine(), sim.FromSlice(reqs), &collect)
+	if err != nil {
+		return Result{}, err
 	}
-	if c.Mode == VCMAndRPM && (c.LowRPM <= 0 || c.LowRPM >= c.Disk.RPM()) {
-		return Result{}, fmt.Errorf("dtm: low speed %v must be below service speed %v", c.LowRPM, c.Disk.RPM())
-	}
-	highRPM := c.Disk.RPM()
-	env := c.envelope()
-	amb := c.ambient()
-	guardAt := env - c.guard()
-	resumeAt := env - c.hysteresis()
-
-	idleLoad := thermal.Load{RPM: highRPM, VCMDuty: 0, Ambient: amb}
-	busyLoad := thermal.Load{RPM: highRPM, VCMDuty: 1, Ambient: amb}
-	coolDown := idleLoad
-	if c.Mode == VCMAndRPM {
-		coolDown.RPM = c.LowRPM
-	}
-
-	start0 := thermal.Uniform(amb)
-	if c.Initial != nil {
-		start0 = *c.Initial
-	}
-	tr := c.Thermal.NewTransient(start0)
-	clock := time.Duration(0) // thermal clock, tracks disk time
-
-	advance := func(to time.Duration, load thermal.Load) {
-		if to > clock {
-			tr.Advance(load, to-clock)
-			clock = to
-		}
-	}
-
-	var res Result
+	res.Completions = collect.Items
 	var sample stats.Sample
-	maxT := start0.Air
-	note := func() {
-		if t := tr.State().Air; t > maxT {
-			maxT = t
-		}
-	}
-
-	for _, r := range reqs {
-		start := r.Arrival
-		if rt := c.Disk.ReadyTime(); rt > start {
-			start = rt
-		}
-		// Idle (or queued-but-not-seeking) period up to the service start.
-		advance(start, idleLoad)
-		note()
-
-		// Throttle if the drive is at the guard band.
-		if tr.State().Air >= guardAt {
-			res.ThrottleEvents++
-			pause, _ := tr.AdvanceUntil(coolDown, coolLimit,
-				func(s thermal.State) bool { return s.Air <= resumeAt })
-			if c.Mode == VCMAndRPM {
-				pause += 2 * c.spinTransition() // down and back up
-			}
-			clock += pause
-			res.ThrottledTime += pause
-			start = clock
-			c.Disk.Delay(start)
-		}
-
-		comp, err := c.Disk.Serve(r)
-		if err != nil {
-			return Result{}, err
-		}
-		load := busyLoad
-		if c.SeekDuty {
-			if svc := comp.Finish - comp.Start; svc > 0 {
-				load.VCMDuty = float64(comp.Parts.Seek) / float64(svc)
-			}
-		}
-		advance(comp.Finish, load)
-		note()
+	for _, comp := range res.Completions {
 		sample.Add(comp.Response())
-		res.Completions = append(res.Completions, comp)
 	}
-
 	res.MeanResponseMillis = sample.Mean()
 	res.P95ResponseMillis = sample.Percentile(95)
-	res.MaxAirTemp = maxT
-	if n := len(res.Completions); n > 0 {
-		res.Elapsed = res.Completions[n-1].Finish - reqs[0].Arrival
-	}
 	return res, nil
 }
 
@@ -239,6 +173,10 @@ type SlackRamp struct {
 
 	// SpinTransition is the speed-change time (default 2 s).
 	SpinTransition time.Duration
+
+	// SampleEvery, when positive, adds a periodic temperature-observation
+	// tick on the event-engine clock during RunStream (zero = off).
+	SampleEvery time.Duration
 }
 
 // RampResult summarises a slack-ramp run.
@@ -250,95 +188,9 @@ type RampResult struct {
 	Elapsed            time.Duration
 }
 
-// Run services the requests under the slack-ramping policy.
+// Run services the requests under the slack-ramping policy. It is the batch
+// wrapper over RunStream (the running mean reproduces the batch mean
+// exactly: same additions in the same order).
 func (s *SlackRamp) Run(reqs []disksim.Request) (RampResult, error) {
-	if s.Disk == nil || s.Thermal == nil {
-		return RampResult{}, fmt.Errorf("dtm: ramp needs a disk and a thermal model")
-	}
-	base := s.Disk.RPM()
-	if s.BoostRPM <= base {
-		return RampResult{}, fmt.Errorf("dtm: boost %v must exceed base %v", s.BoostRPM, base)
-	}
-	amb := s.Ambient
-	if amb == 0 {
-		amb = thermal.DefaultAmbient
-	}
-	rampAt := s.RampAt
-	if rampAt == 0 {
-		rampAt = thermal.Envelope - 2
-	}
-	dropAt := s.DropAt
-	if dropAt == 0 {
-		dropAt = thermal.Envelope - 0.2
-	}
-	trans := s.SpinTransition
-	if trans == 0 {
-		trans = 2 * time.Second
-	}
-
-	tr := s.Thermal.NewTransient(thermal.Uniform(amb))
-	clock := time.Duration(0)
-	boosted := false
-	var res RampResult
-	var sample stats.Sample
-	maxT := units.Celsius(amb)
-
-	load := func(duty float64) thermal.Load {
-		rpm := base
-		if boosted {
-			rpm = s.BoostRPM
-		}
-		return thermal.Load{RPM: rpm, VCMDuty: duty, Ambient: amb}
-	}
-	advance := func(to time.Duration, duty float64) {
-		if to > clock {
-			tr.Advance(load(duty), to-clock)
-			clock = to
-		}
-		if t := tr.State().Air; t > maxT {
-			maxT = t
-		}
-	}
-
-	for _, r := range reqs {
-		start := r.Arrival
-		if rt := s.Disk.ReadyTime(); rt > start {
-			start = rt
-		}
-		advance(start, 0)
-
-		// Speed decisions happen between requests.
-		switch air := tr.State().Air; {
-		case !boosted && air <= rampAt:
-			boosted = true
-			res.Transitions++
-			clock += trans
-			s.Disk.Delay(clock)
-			if err := s.Disk.SetRPM(s.BoostRPM); err != nil {
-				return RampResult{}, err
-			}
-		case boosted && air >= dropAt:
-			boosted = false
-			res.Transitions++
-			clock += trans
-			s.Disk.Delay(clock)
-			if err := s.Disk.SetRPM(base); err != nil {
-				return RampResult{}, err
-			}
-		}
-
-		comp, err := s.Disk.Serve(r)
-		if err != nil {
-			return RampResult{}, err
-		}
-		if boosted {
-			res.BoostedTime += comp.Finish - comp.Start
-		}
-		advance(comp.Finish, 1)
-		sample.Add(comp.Response())
-		res.Elapsed = comp.Finish - reqs[0].Arrival
-	}
-	res.MeanResponseMillis = sample.Mean()
-	res.MaxAirTemp = maxT
-	return res, nil
+	return s.RunStream(sim.NewEngine(), sim.FromSlice(reqs), sim.Discard[disksim.Completion]())
 }

@@ -1,0 +1,649 @@
+// Streaming DTM: the controllers as event-loop processes. Each RunStream
+// pulls requests lazily from a source, admits them as events on a (possibly
+// shared) sim.Engine, and co-advances the drive's thermal transient with the
+// disk clock — so a 10M-request replay runs in O(1) memory, and a controller
+// can share one engine with other processes (a second volume, a fault
+// timeline) on a single deterministic timeline.
+//
+// Each controller's Run method is the collect-into-slice wrapper over its
+// RunStream; with SampleEvery left zero the two produce identical results.
+// The streaming summaries use the O(1) accumulators in internal/stats:
+// Running reproduces Sample's mean bit-for-bit (same additions, same order),
+// while the 95th percentile is a P² estimate rather than the exact order
+// statistic the batch wrappers report.
+package dtm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// RunStream services requests pulled lazily from src under the thermal
+// policy, pushing each completion to sink as it happens. The source must
+// yield requests in nondecreasing arrival order (FCFS). The returned
+// Result carries streaming statistics (P² p95) and a nil Completions slice.
+//
+// When SampleEvery is positive, a periodic tick observes the internal air
+// temperature on the engine clock, advancing the transient through idle
+// gaps in sample-sized steps; MaxAirTemp then reflects those extra
+// observations.
+func (c *Controller) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (Result, error) {
+	if c.Disk == nil || c.Thermal == nil {
+		return Result{}, fmt.Errorf("dtm: controller needs a disk and a thermal model")
+	}
+	if c.Mode == VCMAndRPM && (c.LowRPM <= 0 || c.LowRPM >= c.Disk.RPM()) {
+		return Result{}, fmt.Errorf("dtm: low speed %v must be below service speed %v", c.LowRPM, c.Disk.RPM())
+	}
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	highRPM := c.Disk.RPM()
+	env := c.envelope()
+	amb := c.ambient()
+	guardAt := env - c.guard()
+	resumeAt := env - c.hysteresis()
+
+	idleLoad := thermal.Load{RPM: highRPM, VCMDuty: 0, Ambient: amb}
+	busyLoad := thermal.Load{RPM: highRPM, VCMDuty: 1, Ambient: amb}
+	coolDown := idleLoad
+	if c.Mode == VCMAndRPM {
+		coolDown.RPM = c.LowRPM
+	}
+
+	start0 := thermal.Uniform(amb)
+	if c.Initial != nil {
+		start0 = *c.Initial
+	}
+	tr := c.Thermal.NewTransient(start0)
+	clock := time.Duration(0) // thermal clock, tracks disk time
+
+	advance := func(to time.Duration, load thermal.Load) {
+		if to > clock {
+			tr.Advance(load, to-clock)
+			clock = to
+		}
+	}
+
+	var res Result
+	var mean stats.Running
+	p95 := stats.MustP2(0.95)
+	maxT := start0.Air
+	note := func() {
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	var failed error
+	firstArrival := time.Duration(-1)
+	var lastFinish time.Duration
+	done := false
+
+	serve := func(e *sim.Engine, r disksim.Request) bool {
+		start := r.Arrival
+		if rt := c.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		// Idle (or queued-but-not-seeking) period up to the service start.
+		advance(start, idleLoad)
+		note()
+
+		// Throttle if the drive is at the guard band.
+		if tr.State().Air >= guardAt {
+			res.ThrottleEvents++
+			pause, _ := tr.AdvanceUntil(coolDown, coolLimit,
+				func(s thermal.State) bool { return s.Air <= resumeAt })
+			if c.Mode == VCMAndRPM {
+				pause += 2 * c.spinTransition() // down and back up
+			}
+			clock += pause
+			res.ThrottledTime += pause
+			start = clock
+			c.Disk.Delay(start)
+		}
+
+		comp, err := c.Disk.Serve(r)
+		if err != nil {
+			failed = err
+			e.Fail(err)
+			return false
+		}
+		load := busyLoad
+		if c.SeekDuty {
+			if svc := comp.Finish - comp.Start; svc > 0 {
+				load.VCMDuty = float64(comp.Parts.Seek) / float64(svc)
+			}
+		}
+		advance(comp.Finish, load)
+		note()
+		mean.Add(comp.Response())
+		p95.Add(comp.Response())
+		lastFinish = comp.Finish
+		sink.Push(comp)
+		return true
+	}
+
+	var admit func(e *sim.Engine)
+	admit = func(e *sim.Engine) {
+		r, ok := src.Next()
+		if !ok {
+			done = true
+			return
+		}
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		e.At(r.Arrival, func(e *sim.Engine) {
+			if serve(e, r) {
+				admit(e)
+			}
+		})
+	}
+	if c.SampleEvery > 0 {
+		eng.Every(c.SampleEvery, c.SampleEvery, func(now time.Duration) bool {
+			if done && eng.Pending() == 0 {
+				return false
+			}
+			advance(now, idleLoad)
+			note()
+			return true
+		})
+	}
+	admit(eng)
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	if failed != nil {
+		return Result{}, failed
+	}
+
+	res.MeanResponseMillis = mean.Mean()
+	res.P95ResponseMillis = p95.Value()
+	res.MaxAirTemp = maxT
+	if mean.N() > 0 {
+		res.Elapsed = lastFinish - firstArrival
+	}
+	return res, nil
+}
+
+// RunStream services requests pulled lazily from src under the slack-ramping
+// policy, pushing completions to sink. The source must yield requests in
+// nondecreasing arrival order (FCFS).
+func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (RampResult, error) {
+	if s.Disk == nil || s.Thermal == nil {
+		return RampResult{}, fmt.Errorf("dtm: ramp needs a disk and a thermal model")
+	}
+	base := s.Disk.RPM()
+	if s.BoostRPM <= base {
+		return RampResult{}, fmt.Errorf("dtm: boost %v must exceed base %v", s.BoostRPM, base)
+	}
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	amb := s.Ambient
+	if amb == 0 {
+		amb = thermal.DefaultAmbient
+	}
+	rampAt := s.RampAt
+	if rampAt == 0 {
+		rampAt = thermal.Envelope - 2
+	}
+	dropAt := s.DropAt
+	if dropAt == 0 {
+		dropAt = thermal.Envelope - 0.2
+	}
+	trans := s.SpinTransition
+	if trans == 0 {
+		trans = 2 * time.Second
+	}
+
+	tr := s.Thermal.NewTransient(thermal.Uniform(amb))
+	clock := time.Duration(0)
+	boosted := false
+	var res RampResult
+	var mean stats.Running
+	maxT := amb
+
+	load := func(duty float64) thermal.Load {
+		rpm := base
+		if boosted {
+			rpm = s.BoostRPM
+		}
+		return thermal.Load{RPM: rpm, VCMDuty: duty, Ambient: amb}
+	}
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			tr.Advance(load(duty), to-clock)
+			clock = to
+		}
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	var failed error
+	firstArrival := time.Duration(-1)
+	done := false
+
+	serve := func(e *sim.Engine, r disksim.Request) bool {
+		start := r.Arrival
+		if rt := s.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		advance(start, 0)
+
+		// Speed decisions happen between requests.
+		switch air := tr.State().Air; {
+		case !boosted && air <= rampAt:
+			boosted = true
+			res.Transitions++
+			clock += trans
+			s.Disk.Delay(clock)
+			if err := s.Disk.SetRPM(s.BoostRPM); err != nil {
+				failed = err
+				e.Fail(err)
+				return false
+			}
+		case boosted && air >= dropAt:
+			boosted = false
+			res.Transitions++
+			clock += trans
+			s.Disk.Delay(clock)
+			if err := s.Disk.SetRPM(base); err != nil {
+				failed = err
+				e.Fail(err)
+				return false
+			}
+		}
+
+		comp, err := s.Disk.Serve(r)
+		if err != nil {
+			failed = err
+			e.Fail(err)
+			return false
+		}
+		if boosted {
+			res.BoostedTime += comp.Finish - comp.Start
+		}
+		advance(comp.Finish, 1)
+		mean.Add(comp.Response())
+		res.Elapsed = comp.Finish - firstArrival
+		sink.Push(comp)
+		return true
+	}
+
+	var admit func(e *sim.Engine)
+	admit = func(e *sim.Engine) {
+		r, ok := src.Next()
+		if !ok {
+			done = true
+			return
+		}
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		e.At(r.Arrival, func(e *sim.Engine) {
+			if serve(e, r) {
+				admit(e)
+			}
+		})
+	}
+	if s.SampleEvery > 0 {
+		eng.Every(s.SampleEvery, s.SampleEvery, func(now time.Duration) bool {
+			if done && eng.Pending() == 0 {
+				return false
+			}
+			advance(now, 0)
+			return true
+		})
+	}
+	admit(eng)
+	if err := eng.Run(); err != nil {
+		return RampResult{}, err
+	}
+	if failed != nil {
+		return RampResult{}, failed
+	}
+	res.MeanResponseMillis = mean.Mean()
+	res.MaxAirTemp = maxT
+	return res, nil
+}
+
+// RunStream services requests pulled lazily from src under the level-walking
+// policy, pushing completions to sink. The source must yield requests in
+// nondecreasing arrival order. The returned result's P95ResponseMillis is a
+// P² estimate; Run reports the exact order statistic instead.
+func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (DRPMResult, error) {
+	if p.Disk == nil || p.Thermal == nil {
+		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs a disk and a thermal model")
+	}
+	if len(p.Levels) < 2 {
+		return DRPMResult{}, fmt.Errorf("dtm: DRPM needs at least 2 levels, have %d", len(p.Levels))
+	}
+	levels := append([]units.RPM(nil), p.Levels...)
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	level := -1
+	for i, l := range levels {
+		if l == p.Disk.RPM() {
+			level = i
+			break
+		}
+	}
+	if level < 0 {
+		return DRPMResult{}, fmt.Errorf("dtm: disk speed %v is not a configured level", p.Disk.RPM())
+	}
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+
+	amb := p.ambient()
+	start0 := thermal.Uniform(amb)
+	if p.Initial != nil {
+		start0 = *p.Initial
+	}
+	tr := p.Thermal.NewTransient(start0)
+	clock := time.Duration(0)
+
+	res := DRPMResult{TimeAtLevel: make(map[units.RPM]time.Duration, len(levels))}
+	var mean stats.Running
+	p95 := stats.MustP2(0.95)
+	maxT := start0.Air
+
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			d := to - clock
+			tr.Advance(thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}, d)
+			res.TimeAtLevel[levels[level]] += d
+			clock = to
+		}
+		if a := tr.State().Air; a > maxT {
+			maxT = a
+		}
+	}
+
+	var failed error
+	done := false
+
+	serve := func(e *sim.Engine, r disksim.Request) bool {
+		start := r.Arrival
+		if rt := p.Disk.ReadyTime(); rt > start {
+			start = rt
+		}
+		advance(start, 0)
+
+		// Walk the ladder between requests.
+		switch air := tr.State().Air; {
+		case air >= p.stepDownAt() && level > 0:
+			level--
+			res.Transitions++
+			clock += p.transition()
+			p.Disk.Delay(clock)
+			if err := p.Disk.SetRPM(levels[level]); err != nil {
+				failed = err
+				e.Fail(err)
+				return false
+			}
+		case air <= p.stepUpBelow() && level < len(levels)-1:
+			level++
+			res.Transitions++
+			clock += p.transition()
+			p.Disk.Delay(clock)
+			if err := p.Disk.SetRPM(levels[level]); err != nil {
+				failed = err
+				e.Fail(err)
+				return false
+			}
+		}
+
+		comp, err := p.Disk.Serve(r)
+		if err != nil {
+			failed = err
+			e.Fail(err)
+			return false
+		}
+		advance(comp.Finish, 1)
+		mean.Add(comp.Response())
+		p95.Add(comp.Response())
+		if comp.Finish > res.Elapsed {
+			res.Elapsed = comp.Finish
+		}
+		sink.Push(comp)
+		return true
+	}
+
+	var admit func(e *sim.Engine)
+	admit = func(e *sim.Engine) {
+		r, ok := src.Next()
+		if !ok {
+			done = true
+			return
+		}
+		e.At(r.Arrival, func(e *sim.Engine) {
+			if serve(e, r) {
+				admit(e)
+			}
+		})
+	}
+	if p.SampleEvery > 0 {
+		eng.Every(p.SampleEvery, p.SampleEvery, func(now time.Duration) bool {
+			if done && eng.Pending() == 0 {
+				return false
+			}
+			advance(now, 0)
+			return true
+		})
+	}
+	admit(eng)
+	if err := eng.Run(); err != nil {
+		return DRPMResult{}, err
+	}
+	if failed != nil {
+		return DRPMResult{}, failed
+	}
+
+	res.MeanResponseMillis = mean.Mean()
+	res.P95ResponseMillis = p95.Value()
+	res.MaxAirTemp = maxT
+	return res, nil
+}
+
+// RunStream services requests pulled lazily from src under the escalation
+// ladder, pushing completions to sink. The source must yield requests in
+// nondecreasing arrival order. A disk failure raised by the fault injector
+// ends the stream gracefully (DiskFailed set, completions cover the
+// requests before the failure), matching Run.
+func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (EscalationResult, error) {
+	if e.Disk == nil || e.Thermal == nil {
+		return EscalationResult{}, fmt.Errorf("dtm: escalation needs a disk and a thermal model")
+	}
+	levels := e.Levels
+	if len(levels) == 0 {
+		levels = []units.RPM{e.Disk.RPM()}
+	}
+	if levels[0] != e.Disk.RPM() {
+		return EscalationResult{}, fmt.Errorf("dtm: level 0 (%v) must be the disk's service speed (%v)", levels[0], e.Disk.RPM())
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] >= levels[i-1] {
+			return EscalationResult{}, fmt.Errorf("dtm: levels must descend, got %v after %v", levels[i], levels[i-1])
+		}
+	}
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	stepAt, throttleAt, offlineAt := e.stageTemps()
+	amb := e.ambientTemp()
+	hys := e.hysteresis()
+
+	start0 := thermal.Uniform(amb)
+	if e.Initial != nil {
+		start0 = *e.Initial
+	}
+	tr := e.Thermal.NewTransient(start0)
+	clock := time.Duration(0)
+
+	if e.Faults != nil {
+		e.Faults.Temp = func(time.Duration) units.Celsius { return tr.State().Air }
+		e.Disk.SetFaults(e.Faults)
+		defer e.Disk.SetFaults(nil)
+	}
+
+	level := 0 // index into levels
+	load := func(duty float64) thermal.Load {
+		return thermal.Load{RPM: levels[level], VCMDuty: duty, Ambient: amb}
+	}
+	advance := func(to time.Duration, duty float64) {
+		if to > clock {
+			tr.Advance(load(duty), to-clock)
+			clock = to
+		}
+	}
+
+	var res EscalationResult
+	var mean stats.Running
+	p95 := stats.MustP2(0.95)
+	maxT := start0.Air
+	note := func() {
+		if t := tr.State().Air; t > maxT {
+			maxT = t
+		}
+	}
+
+	var failed error
+	firstArrival := time.Duration(-1)
+	var lastFinish time.Duration
+	done := false
+
+	serve := func(en *sim.Engine, r disksim.Request) bool {
+		startAt := r.Arrival
+		if rt := e.Disk.ReadyTime(); rt > startAt {
+			startAt = rt
+		}
+		advance(startAt, 0)
+		note()
+
+		// Escalate, hottest stage first; each stage leaves the drive cool
+		// enough that the next check falls through.
+		air := tr.State().Air
+		if air >= offlineAt {
+			// Stage 3: spin down and go offline until cooled.
+			res.Offlines++
+			trans := e.spinTransition()
+			pause, _ := tr.AdvanceUntil(
+				thermal.Load{RPM: 0, VCMDuty: 0, Ambient: amb},
+				offlineCoolLimit,
+				func(s thermal.State) bool { return s.Air <= stepAt-hys })
+			pause += 2 * trans // spin-down and spin-up
+			clock += pause
+			res.OfflineTime += pause
+			e.Disk.Delay(clock)
+			air = tr.State().Air
+		}
+		if air >= throttleAt {
+			// Stage 2: VCM-off throttling at the current spindle speed.
+			res.Throttles++
+			pause, _ := tr.AdvanceUntil(load(0), coolLimit,
+				func(s thermal.State) bool { return s.Air <= throttleAt-hys })
+			clock += pause
+			res.ThrottledTime += pause
+			e.Disk.Delay(clock)
+			air = tr.State().Air
+		}
+		switch {
+		case air >= stepAt && level < len(levels)-1:
+			// Stage 1: one spindle step down.
+			level++
+			res.StepDowns++
+			clock += e.spinTransition()
+			e.Disk.Delay(clock)
+			if err := e.Disk.SetRPM(levels[level]); err != nil {
+				failed = err
+				en.Fail(err)
+				return false
+			}
+		case air <= stepAt-hys && level > 0:
+			// De-escalate one step once the drive has cooled.
+			level--
+			clock += e.spinTransition()
+			e.Disk.Delay(clock)
+			if err := e.Disk.SetRPM(levels[level]); err != nil {
+				failed = err
+				en.Fail(err)
+				return false
+			}
+		}
+
+		comp, err := e.Disk.Serve(r)
+		if err != nil {
+			if errors.Is(err, disksim.ErrDiskFailed) {
+				// The drive died mid-run: end the stream gracefully.
+				res.DiskFailed = true
+				res.FailedAt = e.Disk.FailedAt()
+				done = true
+				return false
+			}
+			failed = err
+			en.Fail(err)
+			return false
+		}
+		advance(comp.Finish, 1)
+		note()
+		mean.Add(comp.Response())
+		p95.Add(comp.Response())
+		lastFinish = comp.Finish
+		sink.Push(comp)
+		return true
+	}
+
+	var admit func(en *sim.Engine)
+	admit = func(en *sim.Engine) {
+		r, ok := src.Next()
+		if !ok {
+			done = true
+			return
+		}
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		en.At(r.Arrival, func(en *sim.Engine) {
+			if serve(en, r) {
+				admit(en)
+			}
+		})
+	}
+	if e.SampleEvery > 0 {
+		eng.Every(e.SampleEvery, e.SampleEvery, func(now time.Duration) bool {
+			if done && eng.Pending() == 0 {
+				return false
+			}
+			advance(now, 0)
+			note()
+			return true
+		})
+	}
+	admit(eng)
+	if err := eng.Run(); err != nil {
+		return EscalationResult{}, err
+	}
+	if failed != nil {
+		return EscalationResult{}, failed
+	}
+
+	res.MeanResponseMillis = mean.Mean()
+	res.P95ResponseMillis = p95.Value()
+	res.MaxAirTemp = maxT
+	res.Retries = e.Disk.Retries()
+	res.Remaps = e.Disk.Remapped()
+	if mean.N() > 0 {
+		res.Elapsed = lastFinish - firstArrival
+	}
+	return res, nil
+}

@@ -1,0 +1,260 @@
+// Streaming-vs-batch equivalence: the event-driven core must reproduce the
+// whole-trace batch path bit for bit. Volume.Simulate routes FCFS volumes
+// through the engine while Volume.SimulateBatch keeps the independent
+// disk-by-disk implementation, so running both over the same seeded
+// workloads pins the determinism contract — same finishes, same breakdowns,
+// same cache-hit and injected-fault counts.
+package integration
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/dtm"
+	"repro/internal/raid"
+	"repro/internal/reliability"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+)
+
+// policyDrive builds the 2005-density layout and thermal model the DTM
+// equivalence tests run on.
+func policyDrive(t *testing.T) (*capacity.Layout, *thermal.Model) {
+	t.Helper()
+	geom := thermal.ReferenceDrive
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thermal.New(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layout, th
+}
+
+// policyRequests is a seeded random FCFS workload.
+func policyRequests(total int64, n int, rate float64) []disksim.Request {
+	rng := rand.New(rand.NewSource(3))
+	reqs := make([]disksim.Request, n)
+	now := 0.0
+	for i := range reqs {
+		now += rng.ExpFloat64() / rate
+		reqs[i] = disksim.Request{
+			ID:      int64(i),
+			Arrival: time.Duration(now * float64(time.Second)),
+			LBN:     rng.Int63n(total - 64),
+			Sectors: 8,
+			Write:   rng.Float64() < 0.3,
+		}
+	}
+	return reqs
+}
+
+// relDiff returns |a-b|/b.
+func relDiff(a, b float64) float64 {
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// TestStreamVolumeMatchesBatch replays every seeded workload through both
+// paths and requires identical completions.
+func TestStreamVolumeMatchesBatch(t *testing.T) {
+	for _, w := range trace.Workloads {
+		w := w.WithRequests(4000)
+		t.Run(w.Name, func(t *testing.T) {
+			streamVol, err := w.BuildVolume(w.BaselineRPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchVol, err := w.BuildVolume(w.BaselineRPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs, err := w.Generate(streamVol.Capacity())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := streamVol.Simulate(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := batchVol.SimulateBatch(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("stream served %d completions, batch %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("completion %d differs:\nstream %+v\nbatch  %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamFaultCountsMatchBatch wires identically-seeded thermal fault
+// injectors to both volumes' members: the injected off-track retries and
+// sector remaps must land on the same requests in both paths.
+func TestStreamFaultCountsMatchBatch(t *testing.T) {
+	w := trace.Workloads[0].WithRequests(3000)
+	streamVol, err := w.BuildVolume(w.BaselineRPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchVol, err := w.BuildVolume(w.BaselineRPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hot steady temperature makes the off-track hazard bite.
+	for _, vol := range []*raid.Volume{streamVol, batchVol} {
+		for i, d := range vol.Disks() {
+			inj := dtm.NewThermalFaults(dtm.OffTrackModel{}, reliability.Default(),
+				dtm.BindSteady(52), int64(100+i))
+			d.SetFaults(inj)
+		}
+	}
+	reqs, err := w.Generate(streamVol.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := streamVol.Simulate(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batchVol.SimulateBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream served %d completions, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("completion %d differs:\nstream %+v\nbatch  %+v", i, got[i], want[i])
+		}
+	}
+	var retries, remaps int64
+	for i, d := range streamVol.Disks() {
+		bd := batchVol.Disks()[i]
+		if d.Retries() != bd.Retries() {
+			t.Errorf("disk %d: stream %d retries, batch %d", i, d.Retries(), bd.Retries())
+		}
+		if d.Remapped() != bd.Remapped() {
+			t.Errorf("disk %d: stream %d remaps, batch %d", i, d.Remapped(), bd.Remapped())
+		}
+		retries += d.Retries()
+		remaps += d.Remapped()
+	}
+	if retries == 0 {
+		t.Error("no injected retries: the fault path was not exercised")
+	}
+}
+
+// TestStreamDTMMatchesRun pins the controller wrapper contract: RunStream
+// over a slice source reproduces Run's mean exactly (the running mean sums
+// in the same order as the retained sample) and its P² p95 lands near the
+// exact order statistic.
+func TestStreamDTMMatchesRun(t *testing.T) {
+	layout, th := policyDrive(t)
+	mk := func() *dtm.Controller {
+		d, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &dtm.Controller{Disk: d, Thermal: th, Mode: dtm.VCMOnly}
+	}
+	reqs := policyRequests(layout.TotalSectors(), 4000, 150)
+
+	batch, err := mk().Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := mk().RunStream(sim.NewEngine(), sim.FromSlice(reqs),
+		sim.Discard[disksim.Completion]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.MeanResponseMillis != batch.MeanResponseMillis {
+		t.Errorf("stream mean %.6f ms, batch %.6f ms", streamed.MeanResponseMillis, batch.MeanResponseMillis)
+	}
+	if streamed.MaxAirTemp != batch.MaxAirTemp {
+		t.Errorf("stream max air %v, batch %v", streamed.MaxAirTemp, batch.MaxAirTemp)
+	}
+	if streamed.ThrottleEvents != batch.ThrottleEvents || streamed.ThrottledTime != batch.ThrottledTime {
+		t.Errorf("stream throttling %d/%v, batch %d/%v",
+			streamed.ThrottleEvents, streamed.ThrottledTime, batch.ThrottleEvents, batch.ThrottledTime)
+	}
+	if streamed.Elapsed != batch.Elapsed {
+		t.Errorf("stream elapsed %v, batch %v", streamed.Elapsed, batch.Elapsed)
+	}
+	// P² estimate vs exact order statistic: a few percent on this unimodal
+	// distribution.
+	if batch.P95ResponseMillis > 0 {
+		if d := relDiff(streamed.P95ResponseMillis, batch.P95ResponseMillis); d > 0.10 {
+			t.Errorf("P² p95 %.3f ms vs exact %.3f ms (%.1f%% off)",
+				streamed.P95ResponseMillis, batch.P95ResponseMillis, d*100)
+		}
+	}
+}
+
+// TestRecoveryStreamMatchesRun replays a scripted member failure through
+// Run and through RunStream with a sink, requiring identical completions
+// and recovery counters.
+func TestRecoveryStreamMatchesRun(t *testing.T) {
+	w := trace.Workloads[0].WithRequests(2000)
+	mkSession := func() (*raid.RecoverySession, []raid.Request) {
+		vol, err := w.BuildVolume(w.BaselineRPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol.Disks()[0].SetFaults(disksim.FailAfter{T: 2 * time.Second})
+		reqs, err := w.Generate(vol.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := raid.NewRecoverySession(vol, raid.RecoveryConfig{Reliability: reliability.Default()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, reqs
+	}
+
+	s1, reqs := mkSession()
+	rep, err := s1.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, reqs2 := mkSession()
+	var got []raid.Completion
+	err = s2.RunStream(sim.NewEngine(), sim.FromSlice(reqs2),
+		sim.SinkFunc[raid.Completion](func(c raid.Completion) { got = append(got, c) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rep.Completions) {
+		t.Fatalf("stream served %d, batch %d", len(got), len(rep.Completions))
+	}
+	for i := range got {
+		if got[i] != rep.Completions[i] {
+			t.Fatalf("completion %d differs:\nstream %+v\nbatch  %+v", i, got[i], rep.Completions[i])
+		}
+	}
+	srep := s2.Report()
+	if srep.Degraded != rep.Degraded || srep.LostRequests != rep.LostRequests ||
+		srep.Reconstructions != rep.Reconstructions || srep.ExposedWrites != rep.ExposedWrites {
+		t.Errorf("stream counters %+v, batch %+v", srep, rep)
+	}
+}

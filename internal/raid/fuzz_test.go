@@ -60,7 +60,7 @@ func FuzzExplode(f *testing.F) {
 	f.Add(cap0-1, 1, false)                  // last sector
 	f.Add(cap0-1, 2, false)                  // runs past capacity
 	f.Add(cap0, 1, false)                    // starts past capacity
-	f.Add(int64(0), 1 << 20, false)          // huge
+	f.Add(int64(0), 1<<20, false)            // huge
 	f.Add(unit*3+unit/2, int(unit)*5, true)  // misaligned multi-stripe write
 
 	f.Fuzz(func(t *testing.T, block int64, sectors int, write bool) {

@@ -62,6 +62,11 @@ type Request struct {
 
 // Completion is the volume-level outcome: the slowest constituent disk
 // request determines the finish time.
+//
+// Completion deliberately shares its latency vocabulary with disksim: the
+// Parts field is disksim.Breakdown itself (not a parallel struct), and
+// Response is defined by the same Finish-minus-Arrival rule, so the two
+// layers cannot drift apart. integration's equality tests pin this.
 type Completion struct {
 	Request Request
 	Finish  time.Duration
@@ -69,6 +74,12 @@ type Completion struct {
 	SubRequests int
 	// CacheHits counts constituent disk requests served from cache.
 	CacheHits int
+	// Parts is the latency breakdown of the finish-determining (slowest)
+	// constituent disk request; SlowestDisk is its member index. Ties go
+	// to the lowest member index. Under write-back, Parts still describes
+	// the slowest destage I/O even though Finish is the cache ack.
+	Parts       disksim.Breakdown
+	SlowestDisk int
 	// Degraded marks a request served while a member was failed.
 	Degraded bool
 	// Reconstructed counts sectors rebuilt on the fly from the survivors
@@ -294,15 +305,22 @@ func (v *Volume) mapStriped(r Request, raid5 bool) []sub {
 	return subs
 }
 
-// Simulate runs a volume-level workload and returns completions sorted by
-// request arrival.
-func (v *Volume) Simulate(reqs []Request) ([]Completion, error) {
+// SimulateBatch is the whole-trace path: every disk receives its complete
+// sub-request queue up front, disk by disk. Simulate routes here for
+// volumes whose members use a reordering scheduler (SSTF/SPTF/LOOK), which
+// need the whole queue before they can pick; for FCFS volumes it is an
+// independent implementation of the same semantics as the streaming path,
+// kept (and pinned by the integration equivalence tests) as a cross-check
+// of the event engine.
+func (v *Volume) SimulateBatch(reqs []Request) ([]Completion, error) {
 	perDisk := make([][]disksim.Request, len(v.disks))
 	type parent struct {
-		req    Request
-		subs   int
-		finish time.Duration
-		hits   int
+		req     Request
+		subs    int
+		finish  time.Duration
+		hits    int
+		parts   disksim.Breakdown
+		slowest int
 	}
 	parents := make(map[int64]*parent, len(reqs))
 	for _, r := range reqs {
@@ -312,7 +330,7 @@ func (v *Volume) Simulate(reqs []Request) ([]Completion, error) {
 		}
 		p := parents[r.ID]
 		if p == nil {
-			p = &parent{req: r}
+			p = &parent{req: r, slowest: -1}
 			parents[r.ID] = p
 		}
 		p.subs += len(subs)
@@ -327,8 +345,13 @@ func (v *Volume) Simulate(reqs []Request) ([]Completion, error) {
 		}
 		for _, c := range comps {
 			p := parents[c.Request.ID]
-			if c.Finish > p.finish {
+			// Same slowest-sub rule as Volume.Serve: max finish, ties to
+			// the lowest member index (this scan ascends members, so a
+			// strictly-greater test keeps the first).
+			if p.slowest < 0 || c.Finish > p.finish {
 				p.finish = c.Finish
+				p.parts = c.Parts
+				p.slowest = i
 			}
 			if c.CacheHit {
 				p.hits++
@@ -346,6 +369,8 @@ func (v *Volume) Simulate(reqs []Request) ([]Completion, error) {
 			Finish:      finish,
 			SubRequests: p.subs,
 			CacheHits:   p.hits,
+			Parts:       p.parts,
+			SlowestDisk: p.slowest,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/disksim"
 	"repro/internal/reliability"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -173,6 +174,11 @@ func NewRecoverySession(v *Volume, cfg RecoveryConfig, spares ...*disksim.Disk) 
 
 // Events returns the timeline so far.
 func (s *RecoverySession) Events() []FaultEvent { return s.report.Events }
+
+// Report returns the session's report so far. Completions are populated
+// only by Run; RunStream callers take completions from their sink and read
+// the counters and timeline here.
+func (s *RecoverySession) Report() RecoveryReport { return s.report }
 
 // Volume returns the managed volume.
 func (s *RecoverySession) Volume() *Volume { return s.v }
@@ -419,6 +425,7 @@ func (s *RecoverySession) Serve(r Request) (Completion, error) {
 		}
 		var finish time.Duration
 		failed := -1
+		c.SlowestDisk = -1
 		for _, sb := range ds.subs {
 			comp, err := s.v.disks[sb.disk].Serve(sb.req)
 			if err != nil {
@@ -428,8 +435,13 @@ func (s *RecoverySession) Serve(r Request) (Completion, error) {
 				}
 				return Completion{}, err
 			}
-			if comp.Finish > finish {
+			// Same slowest-sub rule as Volume.Serve: max finish, ties to
+			// the lowest member index.
+			if c.SlowestDisk < 0 || comp.Finish > finish ||
+				(comp.Finish == finish && sb.disk < c.SlowestDisk) {
 				finish = comp.Finish
+				c.Parts = comp.Parts
+				c.SlowestDisk = sb.disk
 			}
 			if comp.CacheHit {
 				c.CacheHits++
@@ -461,25 +473,44 @@ func (s *RecoverySession) Serve(r Request) (Completion, error) {
 	return Completion{}, fmt.Errorf("%w: request %d found no serviceable mapping", ErrDataLoss, r.ID)
 }
 
-// Run services a workload (sorted by arrival internally) and returns the
-// full report. It stops early only on data loss or a malformed request.
-func (s *RecoverySession) Run(reqs []Request) (RecoveryReport, error) {
-	sorted := make([]Request, len(reqs))
-	copy(sorted, reqs)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
-	for _, r := range sorted {
-		c, err := s.Serve(r)
-		if errors.Is(err, ErrDataLoss) {
-			// Non-redundant level with a dead member: the request's data
-			// is gone, but the replay goes on — the report counts the
-			// casualties instead of aborting at the first one.
-			s.report.LostRequests++
-			continue
+// RunStream services requests pulled lazily from src on an event engine,
+// pushing each completion to sink as it happens. Requests whose data is
+// unrecoverable (ErrDataLoss on a non-redundant level) are counted as lost
+// and skipped, matching Run; any other error aborts the engine. The source
+// must yield requests in nondecreasing arrival order.
+func (s *RecoverySession) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Sink[Completion]) error {
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	var failed error
+	var admit func(e *sim.Engine)
+	admit = func(e *sim.Engine) {
+		r, ok := src.Next()
+		if !ok {
+			return
 		}
-		if err != nil {
-			return s.report, err
-		}
-		s.report.Completions = append(s.report.Completions, c)
+		e.At(r.Arrival, func(e *sim.Engine) {
+			c, err := s.Serve(r)
+			if errors.Is(err, ErrDataLoss) {
+				// Non-redundant level with a dead member: the request's
+				// data is gone, but the replay goes on — the report counts
+				// the casualties instead of aborting at the first one.
+				s.report.LostRequests++
+				admit(e)
+				return
+			}
+			if err != nil {
+				failed = err
+				e.Fail(err)
+				return
+			}
+			sink.Push(c)
+			admit(e)
+		})
+	}
+	admit(eng)
+	if err := eng.Run(); err != nil {
+		return err
 	}
 	// Let rebuilds that outlive the trace complete on the report.
 	if len(s.rebuilds) > 0 {
@@ -491,7 +522,22 @@ func (s *RecoverySession) Run(reqs []Request) (RecoveryReport, error) {
 		}
 		s.advanceRebuilds(last)
 	}
-	return s.report, nil
+	return failed
+}
+
+// Run services a workload (sorted by arrival internally) and returns the
+// full report. It is the collect-into-slice wrapper over RunStream and
+// stops early only on data loss in a redundant level or a malformed
+// request.
+func (s *RecoverySession) Run(reqs []Request) (RecoveryReport, error) {
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	err := s.RunStream(sim.NewEngine(), sim.FromSlice(sorted),
+		sim.SinkFunc[Completion](func(c Completion) {
+			s.report.Completions = append(s.report.Completions, c)
+		}))
+	return s.report, err
 }
 
 // RebuildRisk returns the probability that at least one of the survivors

@@ -1,0 +1,144 @@
+// Package sim is the deterministic discrete-event core the simulator layers
+// (disksim, raid, dtm, trace) share: a monotonic clock, a binary-heap event
+// queue, and the Source/Sink/Process plumbing that lets workload generation,
+// disk service and thermal control interleave on one timeline without ever
+// materializing a whole trace.
+//
+// Determinism contract: events fire in (time, scheduling order). Two events
+// scheduled for the same instant fire in the order they were scheduled, so a
+// seeded run replays bit-for-bit regardless of queue rebalancing. Handlers
+// run to completion before the next event fires (single-threaded; an Engine
+// is not safe for concurrent use).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when a handler called Stop.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: scheduling order
+	fn  func(*Engine)
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop: a clock that only moves forward and a queue of
+// pending events. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	err     error
+	stopped bool
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn for time at. Scheduling into the past is clamped to the
+// current instant (the event still fires after every event already queued
+// for Now, preserving the determinism contract).
+func (e *Engine) At(at time.Duration, fn func(*Engine)) {
+	if at < e.now {
+		at = e.now
+	}
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn d from now (negative d fires at the current instant).
+func (e *Engine) After(d time.Duration, fn func(*Engine)) { e.At(e.now+d, fn) }
+
+// Fail aborts the run: Run returns err once the current handler finishes.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.stopped = true
+}
+
+// Stop ends the run without error once the current handler finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event. It reports whether one fired.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn(e)
+	return true
+}
+
+// Run fires events until the queue drains, a handler calls Stop, or a
+// handler calls Fail (whose error is returned).
+func (e *Engine) Run() error {
+	for e.Step() {
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.stopped {
+		e.stopped = false // allow resumption after an explicit Stop
+		return nil
+	}
+	return nil
+}
+
+// Process is a component that attaches itself to the engine — typically by
+// scheduling its first event (a sample tick, a request arrival) from Start.
+type Process interface {
+	Start(*Engine)
+}
+
+// Every schedules fn at t0 and then every period until fn returns false.
+// It panics on a non-positive period (a zero period would jam the clock).
+func (e *Engine) Every(t0, period time.Duration, fn func(now time.Duration) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick period %v", period))
+	}
+	var tick func(*Engine)
+	tick = func(eng *Engine) {
+		if !fn(eng.Now()) {
+			return
+		}
+		eng.After(period, tick)
+	}
+	e.At(t0, tick)
+}

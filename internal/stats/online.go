@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Online accumulators: the streaming engine's statistics. Unlike Sample,
+// none of these retain observations, so a 10M-request replay summarises in
+// O(1) memory.
+
+// Running accumulates count, sum, and max. Mean is summed in observation
+// order, so a Running fed the same stream as a Sample reports the identical
+// mean (same float64 additions in the same order).
+type Running struct {
+	n   int64
+	sum float64
+	max float64
+}
+
+// Add records one observation (in milliseconds, matching Sample).
+func (r *Running) Add(d time.Duration) { r.AddMillis(float64(d) / float64(time.Millisecond)) }
+
+// AddMillis records one observation given in milliseconds.
+func (r *Running) AddMillis(ms float64) {
+	r.n++
+	r.sum += ms
+	if ms > r.max {
+		r.max = ms
+	}
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the mean in milliseconds (0 when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Max returns the largest observation in milliseconds.
+func (r *Running) Max() float64 { return r.max }
+
+// P2 estimates one quantile online with the P² algorithm (Jain & Chlamtac,
+// CACM 1985): five markers track the quantile and its neighbourhood, and a
+// piecewise-parabolic update keeps them near their ideal ranks. Memory is
+// O(1); accuracy on unimodal response-time distributions is within a few
+// percent of the exact order statistic.
+type P2 struct {
+	p       float64 // target quantile in (0,1)
+	n       int64   // observations seen
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based ranks)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increments per observation
+	initial []float64  // first five observations, pre-initialisation
+}
+
+// NewP2 returns an estimator for the p-th quantile, p in (0,1).
+func NewP2(p float64) (*P2, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("stats: P2 quantile %v outside (0,1)", p)
+	}
+	return &P2{
+		p:       p,
+		want:    [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:     [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+		initial: make([]float64, 0, 5),
+	}, nil
+}
+
+// MustP2 is NewP2 for statically-known quantiles.
+func MustP2(p float64) *P2 {
+	e, err := NewP2(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Add records one observation (in milliseconds, matching Sample).
+func (e *P2) Add(d time.Duration) { e.AddMillis(float64(d) / float64(time.Millisecond)) }
+
+// AddMillis records one observation given in milliseconds.
+func (e *P2) AddMillis(x float64) {
+	e.n++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := range e.heights {
+				e.heights[i] = e.initial[i]
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Locate the cell and update the extreme markers.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+
+	// Nudge the three middle markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.heights[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.heights[i+1]-e.heights[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.heights[i]-e.heights[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback when the parabola would leave the bracket.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.heights[i] + d*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the number of observations.
+func (e *P2) N() int64 { return e.n }
+
+// Value returns the current quantile estimate in milliseconds. Below five
+// observations it falls back to the exact order statistic of what it has.
+func (e *P2) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if len(e.initial) < 5 {
+		s := append([]float64(nil), e.initial...)
+		sort.Float64s(s)
+		rank := int(math.Ceil(e.p*float64(len(s)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return s[rank]
+	}
+	return e.heights[2]
+}
+
+// BucketCounts accumulates a histogram over fixed bucket edges without
+// retaining observations; its CDF matches Sample.CDF on the same edges
+// exactly (bucket membership is exact, only within-bucket detail is lost).
+type BucketCounts struct {
+	edges  []float64
+	counts []int64
+	n      int64
+}
+
+// NewBucketCounts returns a counter over ascending edges; observations
+// above the last edge land in a final open bucket.
+func NewBucketCounts(edges []float64) *BucketCounts {
+	return &BucketCounts{edges: edges, counts: make([]int64, len(edges)+1)}
+}
+
+// NewFigure4Counts returns a counter over the paper's Figure 4 buckets.
+func NewFigure4Counts() *BucketCounts { return NewBucketCounts(Figure4Buckets) }
+
+// Add records one observation (in milliseconds).
+func (b *BucketCounts) Add(d time.Duration) { b.AddMillis(float64(d) / float64(time.Millisecond)) }
+
+// AddMillis records one observation given in milliseconds.
+func (b *BucketCounts) AddMillis(ms float64) {
+	i := sort.SearchFloat64s(b.edges, ms) // first edge >= ms: the <=edge bucket
+	b.counts[i]++
+	b.n++
+}
+
+// N returns the number of observations.
+func (b *BucketCounts) N() int64 { return b.n }
+
+// CDF returns the cumulative fraction at or below each edge plus the final
+// open-bucket 1.0 entry, in the same shape Sample.CDF returns.
+func (b *BucketCounts) CDF() []float64 {
+	out := make([]float64, len(b.edges)+1)
+	if b.n == 0 {
+		return out
+	}
+	var cum int64
+	for i, c := range b.counts[:len(b.edges)] {
+		cum += c
+		out[i] = float64(cum) / float64(b.n)
+	}
+	out[len(b.edges)] = 1
+	return out
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRunningMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Sample
+	var r Running
+	for i := 0; i < 10000; i++ {
+		ms := rng.ExpFloat64() * 20
+		s.AddMillis(ms)
+		r.AddMillis(ms)
+	}
+	// Identical addition order means identical floats, not just close ones.
+	if r.Mean() != s.Mean() {
+		t.Fatalf("running mean %v != sample mean %v", r.Mean(), s.Mean())
+	}
+	if r.Max() != s.Max() {
+		t.Fatalf("running max %v != sample max %v", r.Max(), s.Max())
+	}
+	if r.N() != int64(s.N()) {
+		t.Fatalf("running n %d != sample n %d", r.N(), s.N())
+	}
+}
+
+func TestP2AgainstExactPercentiles(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 15 }},
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Float64() < 0.8 {
+				return 5 + r.NormFloat64()
+			}
+			return 60 + 10*r.NormFloat64()
+		}},
+	}
+	for _, c := range cases {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			rng := rand.New(rand.NewSource(42))
+			var s Sample
+			est := MustP2(q)
+			for i := 0; i < 50000; i++ {
+				v := c.gen(rng)
+				s.AddMillis(v)
+				est.AddMillis(v)
+			}
+			exact := s.Percentile(q * 100)
+			got := est.Value()
+			// Accept a few percent of the distribution's scale.
+			tol := 0.05*exact + 0.5
+			if math.Abs(got-exact) > tol {
+				t.Errorf("%s p%v: P2 %.3f vs exact %.3f (tol %.3f)", c.name, q*100, got, exact, tol)
+			}
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	est := MustP2(0.95)
+	if est.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	est.AddMillis(3)
+	est.AddMillis(1)
+	if got := est.Value(); got != 3 {
+		t.Fatalf("two-observation p95 = %v, want max 3", got)
+	}
+	if est.N() != 2 {
+		t.Fatalf("n = %d", est.N())
+	}
+}
+
+func TestP2DurationUnits(t *testing.T) {
+	est := MustP2(0.5)
+	for i := 0; i < 100; i++ {
+		est.Add(10 * time.Millisecond)
+	}
+	if got := est.Value(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("constant 10ms stream: median %v", got)
+	}
+}
+
+func TestNewP2Rejects(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewP2(q); err == nil {
+			t.Errorf("NewP2(%v) accepted", q)
+		}
+	}
+}
+
+func TestBucketCountsMatchesSampleCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s Sample
+	b := NewFigure4Counts()
+	for i := 0; i < 20000; i++ {
+		ms := rng.ExpFloat64() * 40
+		s.AddMillis(ms)
+		b.AddMillis(ms)
+	}
+	// Include exact edge hits, which must land in the <=edge bucket.
+	for _, e := range Figure4Buckets {
+		s.AddMillis(e)
+		b.AddMillis(e)
+	}
+	want := s.Figure4CDF()
+	got := b.CDF()
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBucketCountsEmpty(t *testing.T) {
+	b := NewFigure4Counts()
+	cdf := b.CDF()
+	for i, v := range cdf {
+		if v != 0 {
+			t.Fatalf("empty CDF[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,10 +1,6 @@
 package trace
 
 import (
-	"math"
-	"math/rand"
-	"time"
-
 	"repro/internal/raid"
 )
 
@@ -12,108 +8,20 @@ import (
 const maxRequestSectors = 2048
 
 // Generate produces the workload's request sequence for a volume with the
-// given addressable capacity (in sectors). Generation is deterministic in
-// Params.Seed.
+// given addressable capacity (in sectors) by collecting the lazy Stream into
+// a slice. Generation is deterministic in Params.Seed; prefer Stream when
+// the trace does not need to be materialized.
 func (p Params) Generate(volumeSectors int64) ([]raid.Request, error) {
-	if err := p.Validate(); err != nil {
+	s, err := p.Stream(volumeSectors)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
-
-	// Streams model concurrent sequential request sources (mail spools,
-	// table scans, log appends). Each has a home region for its
-	// non-sequential jumps and a cursor for sequential continuation.
-	type stream struct {
-		home   int64
-		cursor int64
-	}
-	streams := make([]stream, p.Streams)
-	for i := range streams {
-		h := int64(rng.Float64() * float64(volumeSectors))
-		streams[i] = stream{home: h, cursor: h}
-	}
-
-	span := int64(p.LocalitySpan * float64(volumeSectors))
-	if span < int64(p.MeanSectors)*4 {
-		span = int64(p.MeanSectors) * 4
-	}
-
-	// Preserve the configured mean rate despite zero-gap batches: the
-	// exponential gaps between batches are stretched accordingly.
-	meanGap := 1 / (p.ArrivalRate * (1 - p.BatchProb)) // seconds
-
 	reqs := make([]raid.Request, 0, p.Requests)
-	now := 0.0
-	for i := 0; i < p.Requests; i++ {
-		if i > 0 && rng.Float64() >= p.BatchProb {
-			now += rng.ExpFloat64() * meanGap
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return reqs, nil
 		}
-
-		s := &streams[rng.Intn(len(streams))]
-		size := geometricSize(rng, p.MeanSectors)
-
-		var block int64
-		if rng.Float64() < p.SeqFraction {
-			block = s.cursor
-		} else {
-			// Jump within the stream's locality window.
-			lo := s.home - span/2
-			if lo < 0 {
-				lo = 0
-			}
-			hi := lo + span
-			if hi > volumeSectors {
-				hi = volumeSectors
-				lo = hi - span
-				if lo < 0 {
-					lo = 0
-				}
-			}
-			block = lo + int64(rng.Float64()*float64(hi-lo))
-			// Occasionally the stream relocates entirely (a new file, a
-			// new user's mailbox).
-			if rng.Float64() < 0.05 {
-				s.home = int64(rng.Float64() * float64(volumeSectors))
-			}
-		}
-		if block+int64(size) > volumeSectors {
-			block = volumeSectors - int64(size)
-			if block < 0 {
-				block = 0
-				size = int(volumeSectors)
-			}
-		}
-		s.cursor = block + int64(size)
-		if s.cursor >= volumeSectors {
-			s.cursor = s.home
-		}
-
-		reqs = append(reqs, raid.Request{
-			ID:      int64(i),
-			Arrival: time.Duration(now * float64(time.Second)),
-			Block:   block,
-			Sectors: size,
-			Write:   rng.Float64() >= p.ReadFraction,
-		})
+		reqs = append(reqs, r)
 	}
-	return reqs, nil
-}
-
-// geometricSize draws a request size with the given mean, in sectors,
-// clamped to [1, maxRequestSectors].
-func geometricSize(rng *rand.Rand, mean int) int {
-	if mean <= 1 {
-		return 1
-	}
-	// Geometric with success probability 1/mean has mean `mean`.
-	pSuccess := 1 / float64(mean)
-	u := rng.Float64()
-	n := int(math.Ceil(math.Log(1-u) / math.Log(1-pSuccess)))
-	if n < 1 {
-		n = 1
-	}
-	if n > maxRequestSectors {
-		n = maxRequestSectors
-	}
-	return n
 }

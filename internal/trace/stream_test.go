@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestStreamMatchesGenerate pins the determinism contract: collecting the
+// lazy stream reproduces the batch Generate slice bit-for-bit for every
+// seeded workload.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, w := range Workloads {
+		w := w.WithRequests(5000)
+		const sectors = 1 << 26
+		batch, err := w.Generate(sectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := w.Stream(sectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range batch {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("%s: stream ended at %d/%d", w.Name, i, len(batch))
+			}
+			if got != want {
+				t.Fatalf("%s: request %d differs: stream %+v vs batch %+v", w.Name, i, got, want)
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("%s: stream yields past %d requests", w.Name, len(batch))
+		}
+		if s.Remaining() != 0 {
+			t.Fatalf("%s: %d remaining after exhaustion", w.Name, s.Remaining())
+		}
+	}
+}
+
+// TestStreamArrivalsNondecreasing pins the ordering property every streaming
+// consumer (raid.RunStream, the DTM loops) relies on.
+func TestStreamArrivalsNondecreasing(t *testing.T) {
+	for _, w := range Workloads {
+		w := w.WithRequests(3000)
+		s, err := w.Stream(1 << 26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := int64(-1)
+		var lastArrival int64
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if int64(r.Arrival) < lastArrival {
+				t.Fatalf("%s: arrival %v after %v", w.Name, r.Arrival, lastArrival)
+			}
+			if r.ID != last+1 {
+				t.Fatalf("%s: ID %d after %d", w.Name, r.ID, last)
+			}
+			last, lastArrival = r.ID, int64(r.Arrival)
+		}
+	}
+}
+
+func TestStreamValidates(t *testing.T) {
+	bad := Workloads[0]
+	bad.Requests = 0
+	if _, err := bad.Stream(1 << 20); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
