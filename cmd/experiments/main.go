@@ -16,17 +16,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		requests = flag.Int("requests", 150000, "requests per Figure 4 workload (0 = the paper's full counts)")
-		only     = flag.String("only", "", "run a single experiment by id (T1, F2, X3, ...)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		requests   = flag.Int("requests", 150000, "requests per Figure 4 workload (0 = the paper's full counts)")
+		only       = flag.String("only", "", "run a single experiment by id (T1, F2, X3, ...)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		workers    = flag.Int("workers", 0, "sweep worker count (0 = all cores, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	opt := core.Options{Figure4Requests: *requests}
+	opt := core.Options{Figure4Requests: *requests, Workers: *workers}
 	if *list {
 		for _, e := range core.Experiments(opt) {
 			fmt.Printf("  %-3s %s\n", e.ID, e.Title)
@@ -34,12 +38,20 @@ func main() {
 		return
 	}
 
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
 	start := time.Now()
-	var err error
 	if *only != "" {
 		err = core.RunByID(os.Stdout, *only, opt)
 	} else {
 		err = core.RunAll(os.Stdout, opt)
+	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -17,16 +17,22 @@ import (
 
 var sizes = []units.Inches{2.6, 2.1, 1.6}
 
+// workers is the -workers flag, threaded into every roadmap and walk
+// configuration (0 = all cores).
+var workers int
+
 func main() {
 	var (
-		table3     = flag.Bool("table3", true, "print Table 3")
-		figure2    = flag.Bool("figure2", true, "print the Figure 2 roadmaps")
-		figure3    = flag.Bool("figure3", true, "print the Figure 3 cooling study")
-		formfactor = flag.Bool("formfactor", false, "print the 2.5\" form-factor study")
-		chart      = flag.Bool("plot", false, "draw the Figure 2 1-platter IDR roadmap as an ASCII chart")
-		walk       = flag.Bool("walk", false, "run the section 4 design walk (the methodology steps 1-4, year by year)")
+		table3      = flag.Bool("table3", true, "print Table 3")
+		figure2     = flag.Bool("figure2", true, "print the Figure 2 roadmaps")
+		figure3     = flag.Bool("figure3", true, "print the Figure 3 cooling study")
+		formfactor  = flag.Bool("formfactor", false, "print the 2.5\" form-factor study")
+		chart       = flag.Bool("plot", false, "draw the Figure 2 1-platter IDR roadmap as an ASCII chart")
+		walk        = flag.Bool("walk", false, "run the section 4 design walk (the methodology steps 1-4, year by year)")
+		flagWorkers = flag.Int("workers", 0, "sweep worker count (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
+	workers = *flagWorkers
 	if err := run(*table3, *figure2, *figure3, *formfactor); err != nil {
 		fmt.Fprintln(os.Stderr, "roadmap:", err)
 		os.Exit(1)
@@ -48,7 +54,7 @@ func main() {
 // runWalk prints the year-by-year design decisions of the paper's section 4
 // methodology.
 func runWalk() error {
-	steps, err := scaling.DesignWalk(scaling.WalkConfig{})
+	steps, err := scaling.DesignWalk(scaling.WalkConfig{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -69,7 +75,7 @@ func runWalk() error {
 // log-scale IDR against year, one curve per platter size plus the 40% CGR
 // target line.
 func drawFigure2() error {
-	pts, err := scaling.Roadmap(scaling.Config{})
+	pts, err := scaling.Roadmap(scaling.Config{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -106,7 +112,7 @@ func drawFigure2() error {
 }
 
 func run(table3, figure2, figure3, formfactor bool) error {
-	base, err := scaling.Roadmap(scaling.Config{})
+	base, err := scaling.Roadmap(scaling.Config{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -133,7 +139,7 @@ func run(table3, figure2, figure3, formfactor bool) error {
 
 	if figure2 {
 		for _, platters := range []int{1, 2, 4} {
-			pts, err := scaling.Roadmap(scaling.Config{Platters: platters})
+			pts, err := scaling.Roadmap(scaling.Config{Platters: platters, Workers: workers})
 			if err != nil {
 				return err
 			}
@@ -170,11 +176,11 @@ func run(table3, figure2, figure3, formfactor bool) error {
 			fmt.Printf(" %5.1f\": %8s %8s %8s |", float64(s), "base", "-5C", "-10C")
 		}
 		fmt.Println()
-		cool5, err := scaling.Roadmap(scaling.Config{AmbientDelta: -5})
+		cool5, err := scaling.Roadmap(scaling.Config{AmbientDelta: -5, Workers: workers})
 		if err != nil {
 			return err
 		}
-		cool10, err := scaling.Roadmap(scaling.Config{AmbientDelta: -10})
+		cool10, err := scaling.Roadmap(scaling.Config{AmbientDelta: -10, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -198,6 +204,7 @@ func run(table3, figure2, figure3, formfactor bool) error {
 				FormFactor:   geometry.FormFactor25,
 				PlatterSizes: []units.Inches{2.6},
 				AmbientDelta: delta,
+				Workers:      workers,
 			})
 			if err != nil {
 				return err

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disksim"
+	"repro/internal/profiling"
 	"repro/internal/raid"
 	"repro/internal/reliability"
 	"repro/internal/sim"
@@ -32,6 +33,9 @@ func main() {
 		rebuildMB  = flag.Float64("rebuildmb", raid.DefaultRebuildMBPerSec, "rebuild rate onto the spare, MB/s")
 		noSpare    = flag.Bool("nospare", false, "run the failure without a hot spare (no rebuild)")
 		exact      = flag.Bool("exact", false, "collect whole traces for exact percentiles (O(trace) memory) instead of streaming")
+		workers    = flag.Int("workers", 0, "RPM-sweep worker count (0 = all cores, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *dumpConfig != "" {
@@ -41,8 +45,17 @@ func main() {
 		}
 		return
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
 	fi := faultInjection{disk: *failDisk, at: *failAt, rebuildMB: *rebuildMB, spare: !*noSpare}
-	if err := run(*workload, *requests, *save, *analyze, *config, *exact, fi); err != nil {
+	err = run(*workload, *requests, *save, *analyze, *config, *exact, *workers, fi)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
@@ -70,7 +83,7 @@ func dumpBuiltins(path string) error {
 	return f.Close()
 }
 
-func run(name string, requests int, save string, analyze bool, config string, exact bool, fi faultInjection) error {
+func run(name string, requests int, save string, analyze bool, config string, exact bool, workers int, fi faultInjection) error {
 	workloads := trace.Workloads
 	if config != "" {
 		f, err := os.Open(config)
@@ -120,10 +133,11 @@ func run(name string, requests int, save string, analyze bool, config string, ex
 		// the trace for exact order statistics.
 		var res core.WorkloadResult
 		var err error
+		steps := core.Figure4Steps(w.BaselineRPM)
 		if exact {
-			res, err = core.RunFigure4(w)
+			res, err = core.RunFigure4Steps(w, steps, workers)
 		} else {
-			res, err = core.RunFigure4Stream(w)
+			res, err = core.RunFigure4StepsStream(w, steps, workers)
 		}
 		if err != nil {
 			return err

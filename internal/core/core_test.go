@@ -72,7 +72,7 @@ func TestRunFigure4SmallRun(t *testing.T) {
 
 func TestRunFigure4StepsCustom(t *testing.T) {
 	w := trace.Workloads[4].WithRequests(2000) // TPC-H
-	res, err := RunFigure4Steps(w, []units.RPM{7200, 22200})
+	res, err := RunFigure4Steps(w, []units.RPM{7200, 22200}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestRunFigure4StepsCustom(t *testing.T) {
 
 func TestFormatResult(t *testing.T) {
 	w := trace.Workloads[4].WithRequests(500)
-	res, err := RunFigure4Steps(w, []units.RPM{7200})
+	res, err := RunFigure4Steps(w, []units.RPM{7200}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"time"
@@ -9,11 +10,11 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/drive"
 	"repro/internal/dtm"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/reliability"
 	"repro/internal/scaling"
 	"repro/internal/thermal"
-	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -35,6 +36,12 @@ type Options struct {
 	// Figure4Requests is the per-workload trace length (<= 0 uses the
 	// paper's full counts).
 	Figure4Requests int
+
+	// Workers bounds the sweep engine's fan-out across and within
+	// experiments (0 = parallel.Default(), i.e. GOMAXPROCS;
+	// 1 = sequential). The rendered output is byte-identical at any
+	// worker count.
+	Workers int
 }
 
 // Experiments returns the full registry in presentation order.
@@ -48,7 +55,7 @@ func Experiments(opt Options) []Experiment {
 		{"F3", "Figure 3: cooling sensitivity", expFigure3},
 		{"W4", "Section 4 design walk", expDesignWalk},
 		{"F4", "Figure 4: workload response times vs RPM",
-			func(w io.Writer) error { return expFigure4(w, opt.Figure4Requests) }},
+			func(w io.Writer) error { return expFigure4(w, opt.Figure4Requests, opt.Workers) }},
 		{"F5", "Figure 5: thermal slack", expFigure5},
 		{"F7", "Figure 7: throttling ratios", expFigure7},
 		{"X2", "Ablations: capacity overheads, air properties", expAblations},
@@ -69,12 +76,33 @@ func RunByID(w io.Writer, id string, opt Options) error {
 	return fmt.Errorf("core: unknown experiment %q", id)
 }
 
-// RunAll runs the full suite in order.
+// renderedExperiment is one experiment's buffered report: the header plus
+// whatever the run wrote before finishing (or failing).
+type renderedExperiment struct {
+	out []byte
+	err error
+}
+
+// RunAll runs the full suite. The experiments fan out over the sweep engine,
+// each rendering into its own buffer; the buffers are then written in
+// registry order, and a failure is reported after that experiment's partial
+// output — so the bytes on w match the sequential run at any worker count.
 func RunAll(w io.Writer, opt Options) error {
-	for _, e := range Experiments(opt) {
-		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
-		if err := e.Run(w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	exps := Experiments(opt)
+	outs, _ := parallel.Map(opt.Workers, exps, func(_ int, e Experiment) (renderedExperiment, error) {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "== %s: %s ==\n", e.ID, e.Title)
+		// Failures are carried as values so every experiment still renders;
+		// the ordered replay below decides where the suite stops.
+		err := e.Run(&buf)
+		return renderedExperiment{out: buf.Bytes(), err: err}, nil
+	})
+	for i, e := range exps {
+		if _, err := w.Write(outs[i].out); err != nil {
+			return err
+		}
+		if outs[i].err != nil {
+			return fmt.Errorf("%s: %w", e.ID, outs[i].err)
 		}
 		fmt.Fprintln(w)
 	}
@@ -198,7 +226,7 @@ func expDesignWalk(w io.Writer) error {
 	return nil
 }
 
-func expFigure4(w io.Writer, requests int) error {
+func expFigure4(w io.Writer, requests, workers int) error {
 	paper := map[string][4]float64{
 		"HPL Openmail":     {54.54, 25.93, 18.61, 15.35},
 		"OLTP Application": {5.66, 4.48, 3.91, 3.57},
@@ -206,19 +234,16 @@ func expFigure4(w io.Writer, requests int) error {
 		"TPC-C":            {6.50, 3.23, 2.46, 2.06},
 		"TPC-H":            {4.91, 3.25, 2.64, 2.32},
 	}
-	for _, wl := range trace.Workloads {
-		if requests > 0 {
-			wl = wl.WithRequests(requests)
-		}
-		res, err := RunFigure4(wl)
-		if err != nil {
-			return err
-		}
-		p := paper[wl.Name]
+	results, err := RunAllFigure4Workers(requests, workers)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		p := paper[res.Workload.Name]
 		imp := res.Improvements()
 		pImp := [3]float64{(p[0] - p[1]) / p[0], (p[0] - p[2]) / p[0], (p[0] - p[3]) / p[0]}
 		fmt.Fprintf(w, "  %-17s base %6.2f ms (paper %5.2f); gains +%4.1f%%/%4.1f%% +%4.1f%%/%4.1f%% +%4.1f%%/%4.1f%% (ours/paper)\n",
-			wl.Name, res.Steps[0].MeanMillis, p[0],
+			res.Workload.Name, res.Steps[0].MeanMillis, p[0],
 			imp[0]*100, pImp[0]*100, imp[1]*100, pImp[1]*100, imp[2]*100, pImp[2]*100)
 	}
 	return nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/parallel"
+	"repro/internal/raid"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -56,69 +58,101 @@ func (r WorkloadResult) Improvements() []float64 {
 // RunFigure4 simulates one workload across the paper's RPM sweep. The same
 // generated trace drives every speed (only the array's spindle speed
 // changes), exactly as the paper replays each trace against faster drives.
+// The RPM steps fan out over the parallel sweep engine at the default
+// worker count.
 func RunFigure4(p trace.Params) (WorkloadResult, error) {
-	return RunFigure4Steps(p, Figure4Steps(p.BaselineRPM))
+	return RunFigure4Workers(p, 0)
 }
 
-// RunFigure4Steps runs an explicit RPM sweep.
-func RunFigure4Steps(p trace.Params, steps []units.RPM) (WorkloadResult, error) {
+// RunFigure4Workers is RunFigure4 with an explicit worker count
+// (workers <= 0 uses parallel.Default(); 1 forces the sequential path).
+// Every worker count produces bit-identical results.
+func RunFigure4Workers(p trace.Params, workers int) (WorkloadResult, error) {
+	return RunFigure4Steps(p, Figure4Steps(p.BaselineRPM), workers)
+}
+
+// RunFigure4Steps runs an explicit RPM sweep. Each step is an independent
+// simulation: the worker builds its own volume (no simulator state is
+// shared), replays the one shared read-only trace, and summarises its own
+// completions, so the steps run concurrently without changing a bit of the
+// output.
+func RunFigure4Steps(p trace.Params, steps []units.RPM, workers int) (WorkloadResult, error) {
 	res := WorkloadResult{Workload: p}
+	if len(steps) == 0 {
+		return res, nil
+	}
 
-	// Generate once; the volume capacity does not depend on RPM.
-	probe, err := p.BuildVolume(p.BaselineRPM)
+	// The first step's volume doubles as the capacity probe (capacity does
+	// not depend on the spindle speed), so no throwaway volume is built.
+	first, err := p.BuildVolume(steps[0])
 	if err != nil {
 		return res, err
 	}
-	reqs, err := p.Generate(probe.Capacity())
+	// Generate once; every step replays the identical request sequence.
+	reqs, err := p.Generate(first.Capacity())
 	if err != nil {
 		return res, err
 	}
 
-	for _, rpm := range steps {
-		vol, err := p.BuildVolume(rpm)
-		if err != nil {
-			return res, err
+	out, err := parallel.Map(workers, steps, func(i int, rpm units.RPM) (RPMStep, error) {
+		vol := first
+		if i != 0 {
+			var err error
+			if vol, err = p.BuildVolume(rpm); err != nil {
+				return RPMStep{}, err
+			}
 		}
 		comps, err := vol.Simulate(reqs)
 		if err != nil {
-			return res, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
+			return RPMStep{}, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
 		}
-		var sample stats.Sample
-		var hits, subs int
-		for _, c := range comps {
-			sample.Add(c.Response())
-			hits += c.CacheHits
-			subs += c.SubRequests
-		}
-		step := RPMStep{
-			RPM:        rpm,
-			MeanMillis: sample.Mean(),
-			CDF:        sample.Figure4CDF(),
-			P95Millis:  sample.Percentile(95),
-		}
-		if subs > 0 {
-			step.CacheHitFraction = float64(hits) / float64(subs)
-		}
-		res.Steps = append(res.Steps, step)
+		return summarizeStep(rpm, comps), nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Steps = out
 	return res, nil
 }
 
-// RunAllFigure4 runs every workload, optionally scaled to n requests each
-// (n <= 0 keeps the paper's full request counts).
+// summarizeStep folds one RPM step's completions into the Figure 4 metrics.
+func summarizeStep(rpm units.RPM, comps []raid.Completion) RPMStep {
+	var sample stats.Sample
+	var hits, subs int
+	for _, c := range comps {
+		sample.Add(c.Response())
+		hits += c.CacheHits
+		subs += c.SubRequests
+	}
+	step := RPMStep{
+		RPM:        rpm,
+		MeanMillis: sample.Mean(),
+		CDF:        sample.Figure4CDF(),
+		P95Millis:  sample.Percentile(95),
+	}
+	if subs > 0 {
+		step.CacheHitFraction = float64(hits) / float64(subs)
+	}
+	return step
+}
+
+// RunAllFigure4 runs every workload at the default worker count, optionally
+// scaled to n requests each (n <= 0 keeps the paper's full request counts).
 func RunAllFigure4(n int) ([]WorkloadResult, error) {
-	out := make([]WorkloadResult, 0, len(trace.Workloads))
-	for _, w := range trace.Workloads {
+	return RunAllFigure4Workers(n, 0)
+}
+
+// RunAllFigure4Workers fans the whole Figure 4 grid — every workload, every
+// RPM step — out over the sweep engine. The per-workload and per-step
+// fan-outs share the worker budget; results come back in the workload
+// order of trace.Workloads, bit-identical at any worker count.
+func RunAllFigure4Workers(n, workers int) ([]WorkloadResult, error) {
+	return parallel.Map(workers, trace.Workloads, func(_ int, w trace.Params) (WorkloadResult, error) {
 		if n > 0 {
 			w = w.WithRequests(n)
 		}
-		r, err := RunFigure4(w)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+		return RunFigure4Workers(w, workers)
+	})
 }
 
 // FormatResult renders one panel as text (CDF rows per RPM plus the means),

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -21,20 +22,24 @@ import (
 // additions in the same order; bucket membership is exact). P95Millis is a
 // P² estimate rather than the exact order statistic.
 func RunFigure4Stream(p trace.Params) (WorkloadResult, error) {
-	return RunFigure4StepsStream(p, Figure4Steps(p.BaselineRPM))
+	return RunFigure4StepsStream(p, Figure4Steps(p.BaselineRPM), 0)
 }
 
 // RunFigure4StepsStream runs an explicit RPM sweep on the streaming path.
-func RunFigure4StepsStream(p trace.Params, steps []units.RPM) (WorkloadResult, error) {
+// Each step is fully self-contained — its own engine, its own volume, its
+// own lazy re-streaming of the seeded trace — so the steps fan out over the
+// sweep engine (workers <= 0 uses parallel.Default()) while memory stays
+// O(queue depth) per in-flight step.
+func RunFigure4StepsStream(p trace.Params, steps []units.RPM, workers int) (WorkloadResult, error) {
 	res := WorkloadResult{Workload: p}
-	for _, rpm := range steps {
+	out, err := parallel.Map(workers, steps, func(_ int, rpm units.RPM) (RPMStep, error) {
 		vol, err := p.BuildVolume(rpm)
 		if err != nil {
-			return res, err
+			return RPMStep{}, err
 		}
 		src, err := p.Stream(vol.Capacity())
 		if err != nil {
-			return res, err
+			return RPMStep{}, err
 		}
 
 		var mean stats.Running
@@ -51,7 +56,7 @@ func RunFigure4StepsStream(p trace.Params, steps []units.RPM) (WorkloadResult, e
 				subs += c.SubRequests
 			}))
 		if err != nil {
-			return res, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
+			return RPMStep{}, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
 		}
 
 		step := RPMStep{
@@ -63,7 +68,11 @@ func RunFigure4StepsStream(p trace.Params, steps []units.RPM) (WorkloadResult, e
 		if subs > 0 {
 			step.CacheHitFraction = float64(hits) / float64(subs)
 		}
-		res.Steps = append(res.Steps, step)
+		return step, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Steps = out
 	return res, nil
 }

@@ -63,7 +63,7 @@ func TestModelChainRoadmapDrive(t *testing.T) {
 func TestSimulationChainDeterminism(t *testing.T) {
 	w := trace.Workloads[3].WithRequests(5000) // TPC-C: RAID-5 + write-back
 	run := func() core.WorkloadResult {
-		res, err := core.RunFigure4Steps(w, []units.RPM{10000})
+		res, err := core.RunFigure4Steps(w, []units.RPM{10000}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,195 @@
+// Package parallel is the sweep engine behind every grid the paper reports:
+// Figure 4 is workloads x RPM steps, Table 3 and the roadmap are years x
+// candidate designs, and the reliability studies are batches of seeded
+// Monte Carlo trials. Each cell of those grids is an independent simulation,
+// so the engine fans them out over a bounded worker pool and hands the
+// results back in input order — callers observe exactly the sequential
+// contract (same values, same order) regardless of how completions
+// interleave, which is what lets the bit-identity tests in
+// internal/integration compare a -workers 1 run against a saturated one.
+//
+// Cancellation is errgroup-style: the first error stops workers from
+// starting new items (in-flight items finish), and Map returns the error of
+// the lowest-indexed failed item so the reported failure does not depend on
+// goroutine scheduling. A panicking item is re-panicked on the caller's
+// goroutine after the pool drains, preserving the crash instead of
+// deadlocking or leaking it onto a worker.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the worker count used when a caller passes workers <= 0:
+// GOMAXPROCS, i.e. saturate the machine.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// clamp resolves a requested worker count against the item count.
+func clamp(workers, items int) int {
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// itemPanic wraps a panic recovered from a worker so the re-panic on the
+// caller's goroutine still names the item that crashed.
+type itemPanic struct {
+	index int
+	value any
+}
+
+func (p itemPanic) String() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", p.index, p.value)
+}
+
+// callItem invokes fn on one item, converting a panic into the same wrapped
+// itemPanic the pool raises, so crashes read identically at every worker
+// count.
+func callItem[T, R any](fn func(int, T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if ip, ok := v.(itemPanic); ok {
+				panic(ip) // already wrapped by a nested Map
+			}
+			panic(itemPanic{index: i, value: v})
+		}
+	}()
+	return fn(i, item)
+}
+
+// Map applies fn to every item on a pool of at most `workers` goroutines
+// (workers <= 0 means Default()) and returns the results in input order.
+//
+// fn receives the item's index and value; it must be safe to call
+// concurrently with itself on distinct items. On the first error no new
+// items are started and Map returns the error of the lowest-indexed item
+// that failed, with a nil result slice. If fn panics, the panic is
+// re-raised on the caller's goroutine once in-flight items have drained.
+//
+// workers == 1 (or a single item) degenerates to a plain sequential loop on
+// the calling goroutine — the reference the equivalence tests compare
+// against.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return []R{}, nil
+	}
+	workers = clamp(workers, n)
+
+	results := make([]R, n)
+	if workers == 1 {
+		for i, it := range items {
+			r, err := callItem(fn, i, it)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next item index to claim
+		stopped  atomic.Bool  // set on first error: stop claiming items
+		mu       sync.Mutex
+		firstErr error
+		errIndex = n // lowest failed index seen so far
+		panicked *itemPanic
+		wg       sync.WaitGroup
+	)
+
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIndex {
+			errIndex, firstErr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || stopped.Load() {
+				return
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						ip, ok := v.(itemPanic)
+						if !ok {
+							ip = itemPanic{index: i, value: v}
+						}
+						mu.Lock()
+						if panicked == nil {
+							panicked = &ip
+						}
+						mu.Unlock()
+						stopped.Store(true)
+					}
+				}()
+				r, err := fn(i, items[i])
+				if err != nil {
+					record(i, err)
+					return
+				}
+				results[i] = r
+			}()
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if panicked != nil {
+		panic(*panicked)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Grid evaluates fn over the full cross product rows x cols and returns the
+// results as one row-major slice per row — cell (i, j) of the returned grid
+// is fn(i, j, rows[i], cols[j]). The cells are scheduled as one flat work
+// list on the shared pool, so a grid with few rows still saturates every
+// worker. Ordering, cancellation, and panic semantics match Map.
+func Grid[A, B, R any](workers int, rows []A, cols []B, fn func(i, j int, row A, col B) (R, error)) ([][]R, error) {
+	nc := len(cols)
+	if len(rows) == 0 || nc == 0 {
+		return make([][]R, len(rows)), nil
+	}
+	type cell struct{ i, j int }
+	cells := make([]cell, 0, len(rows)*nc)
+	for i := range rows {
+		for j := range cols {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	flat, err := Map(workers, cells, func(_ int, c cell) (R, error) {
+		return fn(c.i, c.j, rows[c.i], cols[c.j])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]R, len(rows))
+	for i := range rows {
+		out[i] = flat[i*nc : (i+1)*nc : (i+1)*nc]
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering pins the core contract: results land in input order for
+// every worker count, including counts past the item count and the
+// sequential degenerate case.
+func TestMapOrdering(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 7, 100, 1000} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			got, err := Map(workers, items, func(i, v int) (int, error) {
+				if i != v {
+					t.Errorf("fn saw index %d for item %d", i, v)
+				}
+				// Stagger completions so out-of-order finishes are likely.
+				if i%3 == 0 {
+					time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+				}
+				return v * v, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(items) {
+				t.Fatalf("got %d results, want %d", len(got), len(items))
+			}
+			for i, r := range got {
+				if r != i*i {
+					t.Errorf("result[%d] = %d, want %d", i, r, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestMapEmpty returns an empty, non-nil slice without spawning workers.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, nil, func(i, v int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("want empty slice, got %#v", got)
+	}
+}
+
+// TestMapFirstError verifies errgroup-style cancellation: the reported error
+// belongs to the lowest-indexed failing item, the result slice is nil, and
+// items beyond the failure are (mostly) never started.
+func TestMapFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	items := make([]int, 200)
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			var started atomic.Int64
+			got, err := Map(workers, items, func(i, _ int) (int, error) {
+				started.Add(1)
+				if i == 5 || i == 17 {
+					return 0, fmt.Errorf("item %d: %w", i, errBoom)
+				}
+				// Slow the healthy items so the failure at index 5 lands
+				// while most of the list is still unclaimed.
+				time.Sleep(time.Millisecond)
+				return i, nil
+			})
+			if got != nil {
+				t.Errorf("results must be nil on error, got %v", got)
+			}
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("want boom, got %v", err)
+			}
+			// Both failures may run concurrently, but the lowest index wins.
+			if want := "item 5:"; !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q should name the lowest failed item (%s)", err, want)
+			}
+			if n := started.Load(); n > int64(len(items)/2) {
+				t.Errorf("cancellation leaked: %d of %d items started (workers=%d)",
+					n, len(items), workers)
+			}
+		})
+	}
+}
+
+// TestMapPanicPropagation: a panicking item must surface on the caller's
+// goroutine, naming the item, with the pool fully drained first.
+func TestMapPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatal("expected a propagated panic")
+				}
+				msg := fmt.Sprint(v)
+				if !strings.Contains(msg, "panicked") || !strings.Contains(msg, "kaboom") {
+					t.Errorf("panic %q should wrap the original value", msg)
+				}
+			}()
+			_, _ = Map(workers, []int{0, 1, 2, 3}, func(i, _ int) (int, error) {
+				if i == 2 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+			t.Fatal("Map returned instead of panicking")
+		})
+	}
+}
+
+// TestMapWorkerBound proves the pool is actually bounded: with W workers the
+// peak in-flight count never exceeds W.
+func TestMapWorkerBound(t *testing.T) {
+	const workers = 3
+	var inflight, peak atomic.Int64
+	items := make([]int, 64)
+	_, err := Map(workers, items, func(int, int) (int, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inflight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds the %d-worker bound", p, workers)
+	}
+}
+
+// TestGrid checks the row-major reshape and the index plumbing.
+func TestGrid(t *testing.T) {
+	rows := []string{"a", "b", "c"}
+	cols := []int{10, 20}
+	got, err := Grid(4, rows, cols, func(i, j int, r string, c int) (string, error) {
+		return fmt.Sprintf("%s%d@%d,%d", r, c, i, j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i, r := range rows {
+		if len(got[i]) != len(cols) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(got[i]), len(cols))
+		}
+		for j, c := range cols {
+			want := fmt.Sprintf("%s%d@%d,%d", r, c, i, j)
+			if got[i][j] != want {
+				t.Errorf("cell (%d,%d) = %q, want %q", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+// TestGridError propagates a cell failure.
+func TestGridError(t *testing.T) {
+	_, err := Grid(2, []int{0, 1}, []int{0, 1}, func(i, j, _, _ int) (int, error) {
+		if i == 1 && j == 1 {
+			return 0, errors.New("bad cell")
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad cell") {
+		t.Fatalf("want cell error, got %v", err)
+	}
+}
+
+// TestGridEmpty handles degenerate shapes.
+func TestGridEmpty(t *testing.T) {
+	got, err := Grid(2, []int{1, 2}, []int(nil), func(i, j, a, b int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want one (empty) row per input row, got %d", len(got))
+	}
+}
+
+// TestDefaultPositive guards the workers<=0 fallback.
+func TestDefaultPositive(t *testing.T) {
+	if Default() < 1 {
+		t.Fatalf("Default() = %d", Default())
+	}
+}

@@ -1,0 +1,57 @@
+// Package profiling wires the standard runtime/pprof flags into the
+// command-line tools, so any sweep can be inspected with `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile into cpuPath (empty = off) and returns a stop
+// function that ends the CPU profile and snapshots the heap into memPath
+// (empty = off). Call stop once, after the measured work:
+//
+//	stop, err := profiling.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	... run the sweep ...
+//	if err := stop(); err != nil { ... }
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		// An up-to-date heap picture needs a collection first.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profiling: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

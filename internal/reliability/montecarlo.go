@@ -1,0 +1,110 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/units"
+)
+
+// Monte Carlo cross-checks of the doubling-law arithmetic. The analytic
+// forms (FailureProb, raid.RebuildRisk) are closed-form; the Monte Carlo
+// estimator samples exponential drive lifetimes instead, which is what the
+// larger what-if studies (correlated failures, staggered rebuilds) will
+// grow from. Trials are grouped into fixed-size batches, each batch seeded
+// deterministically from (seed, batch index) and the batch tallies reduced
+// in batch order — so the estimate is bit-identical at any worker count,
+// the same contract the rest of the sweep engine holds.
+
+// mcBatchSize is the fixed number of trials per batch. Fixing it (rather
+// than dividing trials by the worker count) is what decouples the random
+// streams from the pool size.
+const mcBatchSize = 4096
+
+// MCConfig parameterises a Monte Carlo estimate.
+type MCConfig struct {
+	// Trials is the total number of simulated windows (<= 0 uses 100k).
+	Trials int
+
+	// Seed derives every batch's random stream (batch i uses Seed+i).
+	Seed int64
+
+	// Workers bounds the batch fan-out (0 = parallel.Default();
+	// 1 = sequential).
+	Workers int
+}
+
+func (c MCConfig) withDefaults() MCConfig {
+	if c.Trials <= 0 {
+		c.Trials = 100_000
+	}
+	return c
+}
+
+// MCEstimate is a Monte Carlo probability estimate.
+type MCEstimate struct {
+	Trials   int
+	Failures int
+}
+
+// Probability returns the estimated failure probability.
+func (e MCEstimate) Probability() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	return float64(e.Failures) / float64(e.Trials)
+}
+
+// StdErr returns the binomial standard error of the estimate.
+func (e MCEstimate) StdErr() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	p := e.Probability()
+	return math.Sqrt(p * (1 - p) / float64(e.Trials))
+}
+
+// MonteCarloGroupFailure estimates the probability that at least one of
+// `drives` identical drives fails within `window` of continuous operation
+// at steady temperature t — the sampled counterpart of
+// 1-SurvivalAt(t,window)^drives, and with drives = survivors the rebuild-
+// window risk raid.RebuildRisk computes analytically.
+func (m Model) MonteCarloGroupFailure(t units.Celsius, drives int, window time.Duration, cfg MCConfig) MCEstimate {
+	cfg = cfg.withDefaults()
+	if drives <= 0 || window <= 0 {
+		return MCEstimate{Trials: cfg.Trials}
+	}
+	afr := m.AFRAt(t)
+	windowYears := window.Hours() / (365.25 * 24)
+
+	batches := (cfg.Trials + mcBatchSize - 1) / mcBatchSize
+	idx := make([]int, batches)
+	for i := range idx {
+		idx[i] = i
+	}
+	counts, _ := parallel.Map(cfg.Workers, idx, func(_ int, batch int) (int, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(batch)))
+		n := mcBatchSize
+		if batch == batches-1 {
+			n = cfg.Trials - batch*mcBatchSize
+		}
+		failures := 0
+		for trial := 0; trial < n; trial++ {
+			for d := 0; d < drives; d++ {
+				// Exponential lifetime in years at rate afr.
+				if rng.ExpFloat64()/afr < windowYears {
+					failures++
+					break
+				}
+			}
+		}
+		return failures, nil
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return MCEstimate{Trials: cfg.Trials, Failures: total}
+}

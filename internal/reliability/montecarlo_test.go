@@ -1,0 +1,64 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestMonteCarloMatchesAnalytic: the sampled group-failure probability must
+// land within a few standard errors of the closed form
+// 1-SurvivalAt^drives, both cool and hot (the doubling law is what the
+// estimator must reproduce).
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	m := Default()
+	for _, c := range []struct {
+		temp   float64
+		drives int
+		window time.Duration
+		trials int
+	}{
+		{float64(ReferenceTemp), 3, 24 * 365 * time.Hour, 200_000}, // a year: visible probability
+		{float64(ReferenceTemp) + 15, 3, 24 * 365 * time.Hour, 200_000},
+		{float64(ReferenceTemp) + 15, 8, 24 * 90 * time.Hour, 200_000},
+	} {
+		temp := units.Celsius(c.temp)
+		want := 1 - math.Pow(m.SurvivalAt(temp, c.window), float64(c.drives))
+		est := m.MonteCarloGroupFailure(temp, c.drives, c.window, MCConfig{Trials: c.trials, Seed: 11})
+		se := est.StdErr()
+		if se == 0 {
+			t.Fatalf("degenerate estimate %+v", est)
+		}
+		if d := math.Abs(est.Probability() - want); d > 5*se {
+			t.Errorf("temp %.1f drives %d: MC %.5f vs analytic %.5f (%.1f sigma)",
+				c.temp, c.drives, est.Probability(), want, d/se)
+		}
+	}
+}
+
+// TestMonteCarloWorkerIndependence: the batch decomposition fixes the
+// random streams, so the tally is bit-identical at any worker count.
+func TestMonteCarloWorkerIndependence(t *testing.T) {
+	m := Default()
+	window := 24 * 180 * time.Hour
+	base := m.MonteCarloGroupFailure(ReferenceTemp+10, 4, window, MCConfig{Trials: 50_000, Seed: 7, Workers: 1})
+	for _, w := range []int{2, 4, 16} {
+		got := m.MonteCarloGroupFailure(ReferenceTemp+10, 4, window, MCConfig{Trials: 50_000, Seed: 7, Workers: w})
+		if got != base {
+			t.Errorf("workers=%d: %+v != workers=1 %+v", w, got, base)
+		}
+	}
+}
+
+// TestMonteCarloDegenerate: empty windows and zero drives cannot fail.
+func TestMonteCarloDegenerate(t *testing.T) {
+	m := Default()
+	if est := m.MonteCarloGroupFailure(ReferenceTemp, 0, time.Hour, MCConfig{Trials: 100}); est.Failures != 0 {
+		t.Errorf("0 drives produced failures: %+v", est)
+	}
+	if est := m.MonteCarloGroupFailure(ReferenceTemp, 3, 0, MCConfig{Trials: 100}); est.Failures != 0 {
+		t.Errorf("0 window produced failures: %+v", est)
+	}
+}

@@ -2,9 +2,11 @@ package scaling
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/capacity"
 	"repro/internal/geometry"
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -60,6 +62,13 @@ type WalkConfig struct {
 	Trend Trend
 	// Zones is the ZBR zone count (0 = RoadmapZones).
 	Zones int
+	// Workers bounds the per-year candidate evaluation fan-out
+	// (0 = parallel.Default(); 1 = sequential). The walk itself stays
+	// year-sequential — each year's design depends on the last — but the
+	// candidate (size, platters) options within a year are independent
+	// simulations, and the walk picks the same candidate at any worker
+	// count.
+	Workers int
 }
 
 func (c WalkConfig) withDefaults() WalkConfig {
@@ -106,18 +115,26 @@ func DesignWalk(cfg WalkConfig) ([]WalkStep, error) {
 		return nil, fmt.Errorf("scaling: year range [%d,%d] inverted", cfg.FirstYear, cfg.LastYear)
 	}
 
-	// Envelope speeds depend only on geometry; cache them.
+	// Envelope speeds depend only on geometry; cache them. The mutex makes
+	// the cache safe under the parallel candidate scans (candidates in one
+	// batch have distinct geometries, so no work is duplicated).
+	var maxRPMMu sync.Mutex
 	maxRPM := make(map[geometry.Drive]units.RPM)
 	envelopeRPM := func(g geometry.Drive) (units.RPM, error) {
-		if v, ok := maxRPM[g]; ok {
+		maxRPMMu.Lock()
+		v, ok := maxRPM[g]
+		maxRPMMu.Unlock()
+		if ok {
 			return v, nil
 		}
 		th, err := thermal.New(g)
 		if err != nil {
 			return 0, err
 		}
-		v := th.MaxRPM(thermal.Envelope, 1, thermal.DefaultAmbient)
+		v = th.MaxRPM(thermal.Envelope, 1, thermal.DefaultAmbient)
+		maxRPMMu.Lock()
 		maxRPM[g] = v
+		maxRPMMu.Unlock()
 		return v, nil
 	}
 
@@ -176,21 +193,26 @@ func DesignWalk(cfg WalkConfig) ([]WalkStep, error) {
 		chosen := cur
 
 		if !meets(cur, target) {
-			// Step 3: shrink the platter until the target fits.
+			// Step 3: shrink the platter until the target fits. Every
+			// smaller size is evaluated concurrently; the scan then picks
+			// the first (largest) size that meets the target, exactly as
+			// the sequential walk did.
 			action = ""
 			idx := sizeIndex(size)
 			if idx < 0 {
 				return nil, fmt.Errorf("scaling: size %v not in the candidate set", size)
 			}
+			smaller, err := parallel.Map(cfg.Workers, cfg.Sizes[idx+1:], func(_ int, s units.Inches) (candidate, error) {
+				return build(year, s, platters)
+			})
+			if err != nil {
+				return nil, err
+			}
 			found := false
-			for i := idx + 1; i < len(cfg.Sizes); i++ {
-				cand, err := build(year, cfg.Sizes[i], platters)
-				if err != nil {
-					return nil, err
-				}
+			for _, cand := range smaller {
 				if meets(cand, target) {
 					chosen = cand
-					action = fmt.Sprintf("shrank platter to %v", cfg.Sizes[i])
+					action = fmt.Sprintf("shrank platter to %v", cand.size)
 					found = true
 					break
 				}
@@ -224,13 +246,16 @@ func DesignWalk(cfg WalkConfig) ([]WalkStep, error) {
 			}
 			if !found {
 				// Falloff: ship the fastest legal configuration among all
-				// remaining options.
+				// remaining options (evaluated concurrently, reduced in
+				// order so ties resolve identically to the sequential scan).
 				best := cur
-				for i := sizeIndex(size); i < len(cfg.Sizes); i++ {
-					cand, err := build(year, cfg.Sizes[i], platters)
-					if err != nil {
-						return nil, err
-					}
+				cands, err := parallel.Map(cfg.Workers, cfg.Sizes[sizeIndex(size):], func(_ int, s units.Inches) (candidate, error) {
+					return build(year, s, platters)
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, cand := range cands {
 					if perf.IDR(cand.layout, cand.maxRPM) > perf.IDR(best.layout, best.maxRPM) {
 						best = cand
 					}

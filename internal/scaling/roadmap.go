@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/capacity"
 	"repro/internal/geometry"
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -53,6 +54,11 @@ type Config struct {
 	// DisableCoolingBudget turns off the per-platter-count cooling budget
 	// the paper grants multi-platter stacks at the 2002 starting point.
 	DisableCoolingBudget bool
+
+	// Workers bounds the sweep engine's fan-out over the (size, year) grid
+	// (0 = parallel.Default(), i.e. GOMAXPROCS; 1 = sequential). Every
+	// worker count produces the identical point list.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,7 +126,22 @@ type Point struct {
 	CoolingBudget units.Celsius
 }
 
-// Roadmap computes the full grid of points for a configuration.
+// sizeEnvelope is the per-platter-size stage 1 result: the geometry's
+// thermal model and envelope speed, which every year cell of that size
+// shares.
+type sizeEnvelope struct {
+	geom    geometry.Drive
+	th      *thermal.Model
+	ambient units.Celsius
+	maxRPM  units.RPM
+}
+
+// Roadmap computes the full grid of points for a configuration. The
+// candidate evaluation fans out over the sweep engine in two stages: first
+// one envelope search per platter size (the expensive MaxRPM bisection),
+// then the full (size, year) grid of capacity layouts and steady solves.
+// Points come back ordered exactly as the sequential loops produced them —
+// sizes outermost, years ascending — at any worker count.
 func Roadmap(cfg Config) ([]Point, error) {
 	cfg = cfg.withDefaults()
 	if cfg.LastYear < cfg.FirstYear {
@@ -137,8 +158,8 @@ func Roadmap(cfg Config) ([]Point, error) {
 		duty = 0
 	}
 
-	var pts []Point
-	for _, size := range cfg.PlatterSizes {
+	// Stage 1: envelope speed per platter size.
+	envs, err := parallel.Map(cfg.Workers, cfg.PlatterSizes, func(_ int, size units.Inches) (sizeEnvelope, error) {
 		geom := geometry.Drive{
 			PlatterDiameter: size,
 			Platters:        cfg.Platters,
@@ -146,49 +167,74 @@ func Roadmap(cfg Config) ([]Point, error) {
 		}
 		th, err := thermal.New(geom)
 		if err != nil {
-			return nil, fmt.Errorf("scaling: %v platter: %w", size, err)
+			return sizeEnvelope{}, fmt.Errorf("scaling: %v platter: %w", size, err)
 		}
 		ambient := thermal.DefaultAmbient - budget + cfg.AmbientDelta
-		maxRPM := th.MaxRPM(thermal.Envelope, duty, ambient)
+		return sizeEnvelope{
+			geom:    geom,
+			th:      th,
+			ambient: ambient,
+			maxRPM:  th.MaxRPM(thermal.Envelope, duty, ambient),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		for year := cfg.FirstYear; year <= cfg.LastYear; year++ {
-			bpi, tpi := cfg.Trend.Densities(year)
-			layout, err := capacity.New(capacity.Config{
-				Geometry: geom,
-				BPI:      bpi,
-				TPI:      tpi,
-				Zones:    cfg.Zones,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scaling: year %d size %v: %w", year, size, err)
-			}
-			target := TargetIDR(year)
-			density := perf.IDR(layout, ReferenceRPM)
-			required := perf.RPMForIDR(layout, target)
-			reqTemp := th.SteadyState(thermal.Load{
-				RPM:     required,
-				VCMDuty: duty,
-				Ambient: ambient,
-			}).Air
-			maxIDR := perf.IDR(layout, maxRPM)
+	years := make([]int, 0, cfg.LastYear-cfg.FirstYear+1)
+	for year := cfg.FirstYear; year <= cfg.LastYear; year++ {
+		years = append(years, year)
+	}
 
-			pts = append(pts, Point{
-				Year:          year,
-				Size:          size,
-				Platters:      cfg.Platters,
-				BPI:           bpi,
-				TPI:           tpi,
-				TargetIDR:     target,
-				IDRDensity:    density,
-				RequiredRPM:   required,
-				RequiredTemp:  reqTemp,
-				MaxRPM:        maxRPM,
-				MaxIDR:        maxIDR,
-				Capacity:      layout.DeratedCapacity(),
-				MeetsTarget:   float64(maxIDR) >= float64(target)*(1-TargetTolerance),
-				CoolingBudget: budget,
-			})
+	// Stage 2: the (size, year) grid. Cells of one size share that size's
+	// thermal model; its solve cache is concurrency-safe and verified
+	// exact, so concurrent cells stay bit-identical to sequential ones.
+	rows, err := parallel.Grid(cfg.Workers, envs, years, func(i, _ int, env sizeEnvelope, year int) (Point, error) {
+		size := cfg.PlatterSizes[i]
+		bpi, tpi := cfg.Trend.Densities(year)
+		layout, err := capacity.New(capacity.Config{
+			Geometry: env.geom,
+			BPI:      bpi,
+			TPI:      tpi,
+			Zones:    cfg.Zones,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("scaling: year %d size %v: %w", year, size, err)
 		}
+		target := TargetIDR(year)
+		density := perf.IDR(layout, ReferenceRPM)
+		required := perf.RPMForIDR(layout, target)
+		reqTemp := env.th.SteadyState(thermal.Load{
+			RPM:     required,
+			VCMDuty: duty,
+			Ambient: env.ambient,
+		}).Air
+		maxIDR := perf.IDR(layout, env.maxRPM)
+
+		return Point{
+			Year:          year,
+			Size:          size,
+			Platters:      cfg.Platters,
+			BPI:           bpi,
+			TPI:           tpi,
+			TargetIDR:     target,
+			IDRDensity:    density,
+			RequiredRPM:   required,
+			RequiredTemp:  reqTemp,
+			MaxRPM:        env.maxRPM,
+			MaxIDR:        maxIDR,
+			Capacity:      layout.DeratedCapacity(),
+			MeetsTarget:   float64(maxIDR) >= float64(target)*(1-TargetTolerance),
+			CoolingBudget: budget,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pts := make([]Point, 0, len(envs)*len(years))
+	for _, row := range rows {
+		pts = append(pts, row...)
 	}
 	return pts, nil
 }

@@ -1,0 +1,196 @@
+package thermal
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestSteadyStateCacheEquivalence sweeps the roadmap's whole RPM range (the
+// 2002 baseline through the 2012 1.6" requirement and beyond) across duties
+// and ambients and requires the memoized solve to equal the direct solve
+// bit for bit — twice, so the second pass reads every answer out of the
+// cache.
+func TestSteadyStateCacheEquivalence(t *testing.T) {
+	cached, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.NoCache = true
+
+	var loads []Load
+	for rpm := 500.0; rpm <= 250000; rpm *= 1.17 {
+		for _, duty := range []float64{0, 0.37, 1} {
+			for _, amb := range []units.Celsius{DefaultAmbient, DefaultAmbient - 10} {
+				loads = append(loads, Load{RPM: units.RPM(rpm), VCMDuty: duty, Ambient: amb})
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, load := range loads {
+			got, want := cached.SteadyState(load), direct.SteadyState(load)
+			if got != want {
+				t.Fatalf("pass %d, %+v: cached %v != direct %v", pass, load, got, want)
+			}
+		}
+	}
+	stats := cached.CacheStats()
+	if stats.SteadyHits < int64(len(loads)) {
+		t.Errorf("second pass should hit the cache for all %d loads, hits=%d", len(loads), stats.SteadyHits)
+	}
+	if stats.SteadyMisses != int64(len(loads)) {
+		t.Errorf("first pass should miss exactly once per load (%d), misses=%d", len(loads), stats.SteadyMisses)
+	}
+}
+
+// TestTransientCacheEquivalence runs the same transient trajectory on a
+// cached and an uncached model: the conductance memoization must not
+// perturb a single sub-step.
+func TestTransientCacheEquivalence(t *testing.T) {
+	cached, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.NoCache = true
+
+	trC := cached.NewTransient(Uniform(DefaultAmbient))
+	trD := direct.NewTransient(Uniform(DefaultAmbient))
+	// Alternate between the handful of operating points a DTM controller
+	// visits: busy at speed, idle, throttled low speed.
+	loads := []Load{
+		{RPM: 15000, VCMDuty: 1, Ambient: DefaultAmbient},
+		{RPM: 15000, VCMDuty: 0, Ambient: DefaultAmbient},
+		{RPM: 9000, VCMDuty: 0, Ambient: DefaultAmbient},
+	}
+	for i := 0; i < 60; i++ {
+		load := loads[i%len(loads)]
+		trC.Advance(load, 750*time.Millisecond)
+		trD.Advance(load, 750*time.Millisecond)
+		if trC.State() != trD.State() {
+			t.Fatalf("step %d: cached %v != direct %v", i, trC.State(), trD.State())
+		}
+	}
+	stats := cached.CacheStats()
+	if rate := stats.CondHitRate(); rate < 0.9 {
+		t.Errorf("DTM-style trajectory should hit the conductance cache >90%%, got %.1f%% (%+v)",
+			rate*100, stats)
+	}
+}
+
+// TestCacheConcurrentReaders hammers one shared model from many goroutines
+// (the roadmap grid shares a model per platter size); run with -race.
+func TestCacheConcurrentReaders(t *testing.T) {
+	m, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SteadyState(WorstCase(15000))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := m.SteadyState(WorstCase(15000)); got != want {
+					t.Errorf("concurrent read diverged: %v != %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCacheAliasFallsThrough: two distinct loads inside one quantization
+// bucket must each get their own direct answer — the second must not read
+// the first's entry.
+func TestCacheAliasFallsThrough(t *testing.T) {
+	cached, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.NoCache = true
+
+	a := Load{RPM: 15000, VCMDuty: 1, Ambient: DefaultAmbient}
+	b := a
+	b.RPM += units.RPM(rpmQuantum / 8) // same bucket, different exact point
+	if steadyKey(a, false) != steadyKey(b, false) {
+		t.Fatalf("test premise broken: loads landed in different buckets")
+	}
+	if got, want := cached.SteadyState(a), direct.SteadyState(a); got != want {
+		t.Fatalf("load a: %v != %v", got, want)
+	}
+	if got, want := cached.SteadyState(b), direct.SteadyState(b); got != want {
+		t.Fatalf("aliased load b leaked a's cache entry: %v != %v", got, want)
+	}
+}
+
+// TestSolve4Singular pins the degenerate-geometry contract: a singular
+// system reports ok=false instead of silently returning zeros.
+func TestSolve4Singular(t *testing.T) {
+	cases := []struct {
+		name string
+		a    [4][4]float64
+	}{
+		{"all-zero", [4][4]float64{}},
+		{"duplicate-rows", [4][4]float64{
+			{1, 2, 3, 4},
+			{1, 2, 3, 4},
+			{0, 1, 0, 0},
+			{0, 0, 1, 0},
+		}},
+		{"zero-column", [4][4]float64{
+			{1, 0, 3, 4},
+			{2, 0, 1, 0},
+			{3, 0, 0, 1},
+			{4, 0, 2, 2},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, ok := solve4(c.a, [4]float64{1, 2, 3, 4}); ok {
+				t.Error("singular system reported ok=true")
+			}
+		})
+	}
+
+	// And a well-conditioned identity still solves.
+	id := [4][4]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+	x, ok := solve4(id, [4]float64{1, 2, 3, 4})
+	if !ok || x != [4]float64{1, 2, 3, 4} {
+		t.Errorf("identity solve failed: %v ok=%v", x, ok)
+	}
+}
+
+// TestValidatedModelNeverSingular: across the full roadmap operating range,
+// a validated model's steady temperatures are always finite — the clamped
+// conductance floors keep the matrix nonsingular.
+func TestValidatedModelNeverSingular(t *testing.T) {
+	m, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rpm := range []units.RPM{0, 1, 500, 15000, 143470, 2e6} {
+		st := m.SteadyState(Load{RPM: rpm, VCMDuty: 1, Ambient: DefaultAmbient})
+		for _, v := range []float64{float64(st.Air), float64(st.Spindle), float64(st.Base), float64(st.Actuator)} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rpm %v: non-finite steady state %v", rpm, st)
+			}
+		}
+	}
+}

@@ -57,6 +57,15 @@ type Model struct {
 	// the paper; exposed for the ablation study.
 	TemperatureDependentAir bool
 
+	// NoCache disables the operating-point memoization (see cache.go) so
+	// every solve runs the full arithmetic — the reference the cache
+	// equivalence tests and benchmarks compare against.
+	NoCache bool
+
+	// cache memoizes steady solves and conductance evaluations per exact
+	// operating point; see cache.go for the quantize-then-verify scheme.
+	cache modelCache
+
 	// Precomputed geometry.
 	platterArea  float64 // m^2, air-washed stack area
 	actuatorArea float64 // m^2, air-washed arm area
@@ -214,8 +223,16 @@ func (m *Model) heatInputs(load Load) (pAir, pSpindle, pActuator units.Watts) {
 }
 
 // SteadyState solves the network for the equilibrium temperatures under a
-// constant load.
+// constant load. Solves are memoized per exact operating point (cache.go):
+// the sweep engines and DTM controllers revisit a handful of points
+// thousands of times, and the cached result is bit-identical to a direct
+// solve.
 func (m *Model) SteadyState(load Load) State {
+	return m.steadyCached(load)
+}
+
+// steadyDirect is the uncached steady solve.
+func (m *Model) steadyDirect(load Load) State {
 	// With fixed air properties the network is linear: one solve. With
 	// film-temperature properties, iterate the film temperature.
 	film := load.Ambient + 10
@@ -234,7 +251,7 @@ func (m *Model) SteadyState(load Load) State {
 // solveLinear solves the 4-node steady heat balance by Gaussian elimination.
 // Node order: air, spindle, base, actuator.
 func (m *Model) solveLinear(load Load, film units.Celsius) State {
-	g := m.conductancesAt(load.RPM, film)
+	g := m.condCached(load.RPM, film)
 	pAir, pSpm, pAct := m.heatInputs(load)
 	amb := float64(load.Ambient)
 
@@ -268,7 +285,18 @@ func (m *Model) solveLinear(load Load, film units.Celsius) State {
 	a[3][3] = g.actuatorAir + g.actuatorBase
 	b[3] = float64(pAct)
 
-	t := solve4(a, b)
+	t, ok := solve4(a, b)
+	if !ok {
+		// A validated model can never get here: every coupling has a
+		// positive floor (the convection terms are clamped, the bearing and
+		// external conductances are validated positive), which makes the
+		// heat-balance matrix strictly diagonally dominant and hence
+		// nonsingular. A singular system therefore means corrupted inputs,
+		// and NaN temperatures propagate that loudly instead of the silent
+		// all-zero state the old solver left behind.
+		nan := units.Celsius(math.NaN())
+		return State{Air: nan, Spindle: nan, Base: nan, Actuator: nan}
+	}
 	return State{
 		Air:      units.Celsius(t[0]),
 		Spindle:  units.Celsius(t[1]),
@@ -277,9 +305,12 @@ func (m *Model) solveLinear(load Load, film units.Celsius) State {
 	}
 }
 
-// solve4 solves a 4x4 linear system with partial pivoting.
-func solve4(a [4][4]float64, b [4]float64) [4]float64 {
+// solve4 solves a 4x4 linear system with partial pivoting. The second
+// return is false when the system is singular (a zero pivot); the solution
+// is then meaningless and must not be used.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, bool) {
 	const n = 4
+	var x [4]float64
 	for col := 0; col < n; col++ {
 		// Pivot.
 		p := col
@@ -292,7 +323,7 @@ func solve4(a [4][4]float64, b [4]float64) [4]float64 {
 		b[col], b[p] = b[p], b[col]
 		piv := a[col][col]
 		if piv == 0 {
-			continue // singular; leave zeros
+			return x, false
 		}
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] / piv
@@ -305,17 +336,14 @@ func solve4(a [4][4]float64, b [4]float64) [4]float64 {
 			b[r] -= f * b[col]
 		}
 	}
-	var x [4]float64
 	for r := n - 1; r >= 0; r-- {
 		s := b[r]
 		for c := r + 1; c < n; c++ {
 			s -= a[r][c] * x[c]
 		}
-		if a[r][r] != 0 {
-			x[r] = s / a[r][r]
-		}
+		x[r] = s / a[r][r]
 	}
-	return x
+	return x, true
 }
 
 // SwirlAreaExponent scales the air-to-casting coupling with platter diameter:
@@ -393,7 +421,7 @@ func (t *Transient) AdvanceUntil(load Load, limit time.Duration, cond func(State
 func (t *Transient) step(load Load, maxDT float64) float64 {
 	m := t.m
 	film := (t.state.Air + load.Ambient) / 2
-	g := m.conductancesAt(load.RPM, film)
+	g := m.condCached(load.RPM, film)
 	pAir, pSpm, pAct := m.heatInputs(load)
 	amb := float64(load.Ambient)
 
