@@ -14,6 +14,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/disksim"
 	"repro/internal/dtm"
+	"repro/internal/obs"
 	"repro/internal/reliability"
 	"repro/internal/scaling"
 	"repro/internal/sim"
@@ -33,14 +34,17 @@ func main() {
 		failscale = flag.Float64("failscale", 1, "time acceleration for the disk-failure hazard (1 = physical rate)")
 		requests  = flag.Int("requests", 30000, "requests for the policy and emergency runs")
 	)
+	var oc obs.CLI
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*slack, *throttle, *policy, *emergency, *faults, *faultseed, *failscale, *requests); err != nil {
+	oc.Enable()
+	if err := run(*slack, *throttle, *policy, *emergency, *faults, *faultseed, *failscale, *requests, &oc); err != nil {
 		fmt.Fprintln(os.Stderr, "dtm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(slack, throttle, policy, emergency, faults bool, faultseed int64, failscale float64, requests int) error {
+func run(slack, throttle, policy, emergency, faults bool, faultseed int64, failscale float64, requests int, oc *obs.CLI) error {
 	if slack {
 		if err := runSlack(); err != nil {
 			return err
@@ -52,16 +56,25 @@ func run(slack, throttle, policy, emergency, faults bool, faultseed int64, fails
 		}
 	}
 	if policy {
-		if err := runPolicy(requests); err != nil {
+		if err := runPolicy(requests, oc); err != nil {
 			return err
 		}
 	}
 	if emergency {
-		if err := runEmergency(requests, faults, faultseed, failscale); err != nil {
+		if err := runEmergency(requests, faults, faultseed, failscale, oc); err != nil {
 			return err
 		}
 	}
-	return nil
+	return oc.Flush()
+}
+
+// engine returns a fresh event engine with the -trace-out tracer attached
+// (nil tracer = the free path). The policy runs are sequential, so sharing
+// one tracer across engines still records spans in a deterministic order.
+func engine(oc *obs.CLI) *sim.Engine {
+	e := sim.NewEngine()
+	e.SetTracer(oc.Tracer)
+	return e
 }
 
 func runSlack() error {
@@ -119,7 +132,7 @@ func runThrottle() error {
 	return nil
 }
 
-func runPolicy(requests int) error {
+func runPolicy(requests int, oc *obs.CLI) error {
 	geom := thermal.ReferenceDrive
 	bpi, tpi := scaling.DefaultTrend().Densities(2005)
 	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
@@ -143,8 +156,9 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
+	slow.SetInstruments(disksim.NewInstruments(oc.Registry, len(layout.Zones), "policy", "envelope"))
 	var envMean stats.Running
-	err = slow.RunStream(sim.NewEngine(), src(),
+	err = slow.RunStream(engine(oc), src(),
 		sim.SinkFunc[disksim.Completion](func(c disksim.Completion) { envMean.Add(c.Response()) }))
 	if err != nil {
 		return err
@@ -156,11 +170,14 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
-	ctl := dtm.Controller{Disk: fast, Thermal: th, Mode: dtm.VCMOnly}
-	res, err := ctl.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
+	fast.SetInstruments(disksim.NewInstruments(oc.Registry, len(layout.Zones), "policy", "watermark"))
+	ctl := dtm.Controller{Disk: fast, Thermal: th, Mode: dtm.VCMOnly,
+		Ins: dtm.NewInstruments(oc.Registry, "watermark")}
+	res, err := ctl.RunStream(engine(oc), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
+	th.ExportCache(oc.Registry, "policy", "watermark")
 	fmt.Printf("  average-case @24,534 RPM + throttling: mean %.2f ms, max air %.2f C, "+
 		"%d throttle events (%.1fs paused)\n",
 		res.MeanResponseMillis, float64(res.MaxAirTemp),
@@ -175,11 +192,14 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
-	ramp := dtm.SlackRamp{Disk: base, Thermal: th2, BoostRPM: 24534}
-	rres, err := ramp.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
+	base.SetInstruments(disksim.NewInstruments(oc.Registry, len(layout.Zones), "policy", "slack-ramp"))
+	ramp := dtm.SlackRamp{Disk: base, Thermal: th2, BoostRPM: 24534,
+		Ins: dtm.NewInstruments(oc.Registry, "slack-ramp")}
+	rres, err := ramp.RunStream(engine(oc), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
+	th2.ExportCache(oc.Registry, "policy", "slack-ramp")
 	fmt.Printf("  two-speed slack ramp 15,020<->24,534: mean %.2f ms, max air %.2f C, "+
 		"%d transitions (%.1fs boosted)\n",
 		rres.MeanResponseMillis, float64(rres.MaxAirTemp),
@@ -194,15 +214,18 @@ func runPolicy(requests int) error {
 	if err != nil {
 		return err
 	}
+	multi.SetInstruments(disksim.NewInstruments(oc.Registry, len(layout.Zones), "policy", "drpm"))
 	drpm := dtm.DRPM{
 		Disk:    multi,
 		Thermal: th3,
 		Levels:  []units.RPM{15020, 18000, 21000, 24534},
+		Ins:     dtm.NewInstruments(oc.Registry, "drpm"),
 	}
-	dres, err := drpm.RunStream(sim.NewEngine(), src(), sim.Discard[disksim.Completion]())
+	dres, err := drpm.RunStream(engine(oc), src(), sim.Discard[disksim.Completion]())
 	if err != nil {
 		return err
 	}
+	th3.ExportCache(oc.Registry, "policy", "drpm")
 	fmt.Printf("  DRPM 4 levels 15,020..24,534: mean %.2f ms, max air %.2f C, %d transitions\n",
 		dres.MeanResponseMillis, float64(dres.MaxAirTemp), dres.Transitions)
 
@@ -237,7 +260,7 @@ func runPolicy(requests int) error {
 // (optionally) the thermal fault injector wired to the same transient so
 // off-track retries, sector remaps, and the failure hazard all track the
 // temperature the ladder is regulating.
-func runEmergency(requests int, faults bool, seed int64, failscale float64) error {
+func runEmergency(requests int, faults bool, seed int64, failscale float64, oc *obs.CLI) error {
 	geom := thermal.ReferenceDrive
 	bpi, tpi := scaling.DefaultTrend().Densities(2005)
 	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
@@ -253,11 +276,13 @@ func runEmergency(requests int, faults bool, seed int64, failscale float64) erro
 		return err
 	}
 	hot := th.SteadyState(thermal.WorstCase(24534))
+	disk.SetInstruments(disksim.NewInstruments(oc.Registry, len(layout.Zones), "policy", "escalation"))
 	esc := dtm.Escalation{
 		Disk:    disk,
 		Thermal: th,
 		Levels:  []units.RPM{24534, 21000, 18000, 15020},
 		Initial: &hot,
+		Ins:     dtm.NewInstruments(oc.Registry, "escalation"),
 	}
 	if faults {
 		inj := dtm.NewThermalFaults(dtm.OffTrackModel{}, reliability.Default(), nil, seed)
@@ -265,11 +290,12 @@ func runEmergency(requests int, faults bool, seed int64, failscale float64) erro
 		esc.Faults = inj
 	}
 	var served int
-	res, err := esc.RunStream(sim.NewEngine(), policySource(layout.TotalSectors(), requests, 120),
+	res, err := esc.RunStream(engine(oc), policySource(layout.TotalSectors(), requests, 120),
 		sim.SinkFunc[disksim.Completion](func(disksim.Completion) { served++ }))
 	if err != nil {
 		return err
 	}
+	th.ExportCache(oc.Registry, "policy", "escalation")
 	fmt.Printf("Thermal-emergency escalation ladder (2005 drive @24,534 RPM, hot start, %d requests)\n", requests)
 	fmt.Printf("  served %d/%d: mean %.2f ms, p95 %.2f ms, max air %.2f C\n",
 		served, requests,

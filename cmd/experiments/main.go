@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/profiling"
 )
 
@@ -28,9 +30,19 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var oc obs.CLI
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	oc.Enable()
+	if oc.Registry != nil {
+		parallel.SetMetrics(parallel.NewMetrics(oc.Registry))
+	}
 
-	opt := core.Options{Figure4Requests: *requests, Workers: *workers}
+	opt := core.Options{
+		Figure4Requests: *requests,
+		Workers:         *workers,
+		Obs:             core.Observe{Registry: oc.Registry, Tracer: oc.Tracer},
+	}
 	if *list {
 		for _, e := range core.Experiments(opt) {
 			fmt.Printf("  %-3s %s\n", e.ID, e.Title)
@@ -49,6 +61,9 @@ func main() {
 		err = core.RunByID(os.Stdout, *only, opt)
 	} else {
 		err = core.RunAll(os.Stdout, opt)
+	}
+	if err == nil {
+		err = oc.Flush()
 	}
 	if perr := stopProfiles(); err == nil {
 		err = perr

@@ -1,0 +1,132 @@
+// Command obsdump inspects and diffs the NDJSON metric snapshots the
+// simulators write via -metrics-out.
+//
+//	go run ./cmd/obsdump run.ndjson                     # pretty-print
+//	go run ./cmd/obsdump -golden want.ndjson run.ndjson # diff, exit 1 on drift
+//
+// The golden mode is the CI artifact gate: because snapshots are
+// deterministic (sorted series, stable JSON rendering, volatile series
+// excluded), a byte-level comparison would already work — but obsdump diffs
+// at the series level so a regression names the exact metric that moved
+// instead of a line number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	golden := flag.String("golden", "", "compare the snapshot against this golden file instead of printing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsdump [-golden want.ndjson] got.ndjson")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *golden); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, golden string) error {
+	got, err := readSnapshot(path)
+	if err != nil {
+		return err
+	}
+	if golden == "" {
+		dump(got)
+		return nil
+	}
+	want, err := readSnapshot(golden)
+	if err != nil {
+		return err
+	}
+	diffs := diff(want, got)
+	if len(diffs) == 0 {
+		fmt.Printf("obsdump: %d series match %s\n", len(want), golden)
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	return fmt.Errorf("%d series differ from %s", len(diffs), golden)
+}
+
+func readSnapshot(path string) ([]obs.Metric, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ms, err := obs.ReadNDJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ms, nil
+}
+
+// render shows one series' payload compactly for dumps and diff lines.
+func render(m obs.Metric) string {
+	switch m.Kind {
+	case "counter":
+		return fmt.Sprintf("%d", m.Count)
+	case "gauge":
+		if m.Value == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%g", *m.Value)
+	case "histogram":
+		return fmt.Sprintf("n=%d sum=%g max=%g counts=%v", m.N, m.Sum, m.Max, m.Counts)
+	}
+	return "?"
+}
+
+func dump(ms []obs.Metric) {
+	for _, m := range ms {
+		fmt.Printf("%-10s %s = %s\n", m.Kind, m.ID(), render(m))
+	}
+}
+
+// diff compares snapshots series-by-series and returns one readable line
+// per drift: changed payloads, series only in the golden, series only in
+// the run.
+func diff(want, got []obs.Metric) []string {
+	wm := make(map[string]obs.Metric, len(want))
+	for _, m := range want {
+		wm[m.ID()] = m
+	}
+	gm := make(map[string]obs.Metric, len(got))
+	for _, m := range got {
+		gm[m.ID()] = m
+	}
+	ids := make([]string, 0, len(wm)+len(gm))
+	for id := range wm {
+		ids = append(ids, id)
+	}
+	for id := range gm {
+		if _, ok := wm[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	var out []string
+	for _, id := range ids {
+		w, inW := wm[id]
+		g, inG := gm[id]
+		switch {
+		case !inG:
+			out = append(out, fmt.Sprintf("- %s (only in golden: %s)", id, render(w)))
+		case !inW:
+			out = append(out, fmt.Sprintf("+ %s (only in run: %s)", id, render(g)))
+		case render(w) != render(g) || w.Kind != g.Kind:
+			out = append(out, fmt.Sprintf("! %s: golden %s, run %s", id, render(w), render(g)))
+		}
+	}
+	return out
+}

@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disksim"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/raid"
 	"repro/internal/reliability"
@@ -37,7 +39,13 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var oc obs.CLI
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	oc.Enable()
+	if oc.Registry != nil {
+		parallel.SetMetrics(parallel.NewMetrics(oc.Registry))
+	}
 	if *dumpConfig != "" {
 		if err := dumpBuiltins(*dumpConfig); err != nil {
 			fmt.Fprintln(os.Stderr, "tracesim:", err)
@@ -51,7 +59,11 @@ func main() {
 		os.Exit(1)
 	}
 	fi := faultInjection{disk: *failDisk, at: *failAt, rebuildMB: *rebuildMB, spare: !*noSpare}
-	err = run(*workload, *requests, *save, *analyze, *config, *exact, *workers, fi)
+	err = run(*workload, *requests, *save, *analyze, *config, *exact, *workers, fi,
+		core.Observe{Registry: oc.Registry, Tracer: oc.Tracer})
+	if err == nil {
+		err = oc.Flush()
+	}
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -83,7 +95,7 @@ func dumpBuiltins(path string) error {
 	return f.Close()
 }
 
-func run(name string, requests int, save string, analyze bool, config string, exact bool, workers int, fi faultInjection) error {
+func run(name string, requests int, save string, analyze bool, config string, exact bool, workers int, fi faultInjection, ob core.Observe) error {
 	workloads := trace.Workloads
 	if config != "" {
 		f, err := os.Open(config)
@@ -130,14 +142,15 @@ func run(name string, requests int, save string, analyze bool, config string, ex
 		}
 		// The streaming path replays each speed straight from the seeded
 		// generator in O(1) memory (P² 95th percentile); -exact collects
-		// the trace for exact order statistics.
+		// the trace for exact order statistics. -metrics-out/-trace-out
+		// ride the streaming path, where the per-step hooks are live.
 		var res core.WorkloadResult
 		var err error
 		steps := core.Figure4Steps(w.BaselineRPM)
 		if exact {
 			res, err = core.RunFigure4Steps(w, steps, workers)
 		} else {
-			res, err = core.RunFigure4StepsStream(w, steps, workers)
+			res, err = core.RunFigure4StepsStreamObs(w, steps, workers, ob)
 		}
 		if err != nil {
 			return err

@@ -42,6 +42,12 @@ type Options struct {
 	// 1 = sequential). The rendered output is byte-identical at any
 	// worker count.
 	Workers int
+
+	// Obs carries optional observability sinks. When enabled, Figure 4
+	// runs on the streaming path (whose means match the batch path bit
+	// for bit) so the per-step instrumentation hooks are live; the
+	// rendered report is unchanged.
+	Obs Observe
 }
 
 // Experiments returns the full registry in presentation order.
@@ -55,7 +61,7 @@ func Experiments(opt Options) []Experiment {
 		{"F3", "Figure 3: cooling sensitivity", expFigure3},
 		{"W4", "Section 4 design walk", expDesignWalk},
 		{"F4", "Figure 4: workload response times vs RPM",
-			func(w io.Writer) error { return expFigure4(w, opt.Figure4Requests, opt.Workers) }},
+			func(w io.Writer) error { return expFigure4(w, opt.Figure4Requests, opt.Workers, opt.Obs) }},
 		{"F5", "Figure 5: thermal slack", expFigure5},
 		{"F7", "Figure 7: throttling ratios", expFigure7},
 		{"X2", "Ablations: capacity overheads, air properties", expAblations},
@@ -226,7 +232,7 @@ func expDesignWalk(w io.Writer) error {
 	return nil
 }
 
-func expFigure4(w io.Writer, requests, workers int) error {
+func expFigure4(w io.Writer, requests, workers int, ob Observe) error {
 	paper := map[string][4]float64{
 		"HPL Openmail":     {54.54, 25.93, 18.61, 15.35},
 		"OLTP Application": {5.66, 4.48, 3.91, 3.57},
@@ -234,7 +240,15 @@ func expFigure4(w io.Writer, requests, workers int) error {
 		"TPC-C":            {6.50, 3.23, 2.46, 2.06},
 		"TPC-H":            {4.91, 3.25, 2.64, 2.32},
 	}
-	results, err := RunAllFigure4Workers(requests, workers)
+	var results []WorkloadResult
+	var err error
+	if ob.enabled() {
+		// Streaming path so the per-step instrumentation is live; the
+		// means the report prints are bit-identical to the batch path.
+		results, err = RunAllFigure4StreamObs(requests, workers, ob)
+	} else {
+		results, err = RunAllFigure4Workers(requests, workers)
+	}
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/raid"
 	"repro/internal/sim"
@@ -10,6 +12,37 @@ import (
 	"repro/internal/trace"
 	"repro/internal/units"
 )
+
+// Observe carries the optional observability sinks for a sweep. The zero
+// value disables everything: a nil Registry hands out nil metric handles and
+// a nil Tracer makes every Record a single branch, so the un-observed sweep
+// is bit- and allocation-identical to the pre-observability code.
+type Observe struct {
+	// Registry receives per-step metric series, labelled
+	// {workload=<name>, rpm=<step>}. Those labels make each gauge
+	// single-writer and each counter commutative, which is what keeps
+	// snapshots byte-identical at any -workers count.
+	Registry *obs.Registry
+
+	// Tracer receives request-lifetime spans. Each step records into a
+	// private sub-tracer; the runner merges them in step order after the
+	// parallel fan-in, so span output is deterministic too.
+	Tracer *obs.Tracer
+
+	// SpanLimit caps the spans each step retains (0 = obs.DefaultSpanLimit).
+	// Overflow is counted, not kept, bounding memory on long replays.
+	SpanLimit int
+}
+
+func (o Observe) spanLimit() int {
+	if o.SpanLimit > 0 {
+		return o.SpanLimit
+	}
+	return obs.DefaultSpanLimit
+}
+
+// enabled reports whether any sink is attached.
+func (o Observe) enabled() bool { return o.Registry != nil || o.Tracer != nil }
 
 // RunFigure4Stream is RunFigure4 without ever materializing the trace: each
 // RPM step re-streams the workload from its seed (the generator is
@@ -31,8 +64,20 @@ func RunFigure4Stream(p trace.Params) (WorkloadResult, error) {
 // sweep engine (workers <= 0 uses parallel.Default()) while memory stays
 // O(queue depth) per in-flight step.
 func RunFigure4StepsStream(p trace.Params, steps []units.RPM, workers int) (WorkloadResult, error) {
+	return RunFigure4StepsStreamObs(p, steps, workers, Observe{})
+}
+
+// RunFigure4StepsStreamObs is RunFigure4StepsStream with observability
+// sinks. With ob zero it is the same code on the same fast path (nil metric
+// handles, nil tracer). With sinks attached, each step instruments its own
+// volume under {workload, rpm} labels and records request spans into a
+// private sub-tracer; sub-tracers merge into ob.Tracer in step order after
+// the fan-in, so both the snapshot and the span stream are byte-identical
+// at any worker count.
+func RunFigure4StepsStreamObs(p trace.Params, steps []units.RPM, workers int, ob Observe) (WorkloadResult, error) {
 	res := WorkloadResult{Workload: p}
-	out, err := parallel.Map(workers, steps, func(_ int, rpm units.RPM) (RPMStep, error) {
+	subTracers := make([]*obs.Tracer, len(steps))
+	out, err := parallel.Map(workers, steps, func(i int, rpm units.RPM) (RPMStep, error) {
 		vol, err := p.BuildVolume(rpm)
 		if err != nil {
 			return RPMStep{}, err
@@ -42,11 +87,21 @@ func RunFigure4StepsStream(p trace.Params, steps []units.RPM, workers int) (Work
 			return RPMStep{}, err
 		}
 
+		eng := sim.NewEngine()
+		if ob.Registry != nil {
+			vol.Instrument(ob.Registry,
+				"workload", p.Name, "rpm", strconv.Itoa(int(rpm)))
+		}
+		if ob.Tracer != nil {
+			subTracers[i] = obs.NewTracer(ob.spanLimit())
+			eng.SetTracer(subTracers[i])
+		}
+
 		var mean stats.Running
 		p95 := stats.MustP2(0.95)
 		cdf := stats.NewFigure4Counts()
 		var hits, subs int
-		err = vol.RunStream(sim.NewEngine(), src,
+		err = vol.RunStream(eng, src,
 			sim.SinkFunc[raid.Completion](func(c raid.Completion) {
 				r := c.Response()
 				mean.Add(r)
@@ -73,6 +128,36 @@ func RunFigure4StepsStream(p trace.Params, steps []units.RPM, workers int) (Work
 	if err != nil {
 		return res, err
 	}
+	for _, sub := range subTracers {
+		ob.Tracer.Merge(sub)
+	}
 	res.Steps = out
 	return res, nil
+}
+
+// RunAllFigure4StreamObs fans the whole Figure 4 grid out on the streaming
+// path with observability sinks. Tracer determinism nests: each workload
+// records into its own sub-tracer (whose steps in turn record into per-step
+// sub-tracers), and the merges happen in workload order here, step order
+// inside — so -trace-out bytes are independent of the worker count.
+func RunAllFigure4StreamObs(n, workers int, ob Observe) ([]WorkloadResult, error) {
+	subTracers := make([]*obs.Tracer, len(trace.Workloads))
+	out, err := parallel.Map(workers, trace.Workloads, func(i int, w trace.Params) (WorkloadResult, error) {
+		if n > 0 {
+			w = w.WithRequests(n)
+		}
+		wb := ob
+		if ob.Tracer != nil {
+			subTracers[i] = obs.NewTracer(ob.spanLimit())
+			wb.Tracer = subTracers[i]
+		}
+		return RunFigure4StepsStreamObs(w, Figure4Steps(w.BaselineRPM), workers, wb)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range subTracers {
+		ob.Tracer.Merge(sub)
+	}
+	return out, nil
 }

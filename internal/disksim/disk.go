@@ -130,6 +130,10 @@ type Disk struct {
 	retries int64
 	rng     uint64 // xorshift state for legacy RetryProb draws
 
+	// ins is the optional metric handle set; nil (the default) keeps the
+	// service path allocation- and observation-free.
+	ins *Instruments
+
 	failed    bool
 	failedAt  time.Duration
 	remaps    map[int64]int64 // grown-defect list: defective LBN -> spare slot
@@ -269,6 +273,9 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 		c.Finish = t + bus
 		d.ready = c.Finish
 		d.served++
+		if d.ins != nil {
+			d.ins.record(&c, -1)
+		}
 		return c, nil
 	}
 
@@ -334,6 +341,9 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	d.headCyl = lastCyl
 	d.ready = t
 	d.served++
+	if d.ins != nil {
+		d.ins.record(&c, z.Index)
+	}
 
 	if r.Write {
 		d.cache.invalidate(r.LBN, r.Sectors)
@@ -396,6 +406,7 @@ func (d *Disk) simulateQueued(sorted []Request) ([]Completion, error) {
 			pending = append(pending, sorted[i])
 			i++
 		}
+		d.ins.noteQueueDepth(len(pending))
 		if len(pending) == 0 {
 			now = sorted[i].Arrival
 			continue

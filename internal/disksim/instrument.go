@@ -1,0 +1,128 @@
+package disksim
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Instruments is the disk layer's metric handle set: per-zone service-time
+// histograms, queue-delay histogram, a peak-queue-depth gauge, and the
+// served/cache/fault counters. Handles are registered once at setup; the
+// per-request path only touches pre-resolved pointers, and a nil
+// *Instruments (the default) costs one branch per Serve.
+//
+// One Instruments may be shared by several disks (a RAID volume registers a
+// single set for all members): counters are commutative and every disk on
+// one engine is serviced single-threaded, so shared series stay
+// deterministic.
+type Instruments struct {
+	served      *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	retries     *obs.Counter
+	remaps      *obs.Counter
+
+	service     *obs.Histogram // service time (start -> finish), ms
+	queueDelay  *obs.Histogram // arrival -> service start, ms
+	queuePeak   *obs.Gauge     // peak pending-queue depth (batch schedulers)
+	zoneService []*obs.Histogram
+}
+
+// NewInstruments registers the disk metric set on reg under the given
+// alternating key/value labels, with one service histogram per recording
+// zone (zones <= 0 skips the per-zone split). A nil registry returns nil,
+// the disabled state every Disk method tolerates.
+func NewInstruments(reg *obs.Registry, zones int, labels ...string) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	ins := &Instruments{
+		served:      reg.Counter("disksim_requests_total", labels...),
+		cacheHits:   reg.Counter("disksim_cache_hits_total", labels...),
+		cacheMisses: reg.Counter("disksim_cache_misses_total", labels...),
+		retries:     reg.Counter("disksim_retries_total", labels...),
+		remaps:      reg.Counter("disksim_remaps_total", labels...),
+		service:     reg.Histogram("disksim_service_ms", stats.Figure4Buckets, labels...),
+		queueDelay:  reg.Histogram("disksim_queue_delay_ms", stats.Figure4Buckets, labels...),
+		queuePeak:   reg.Gauge("disksim_queue_depth_peak", labels...),
+	}
+	for z := 0; z < zones; z++ {
+		zl := append(append([]string(nil), labels...), "zone", strconv.Itoa(z))
+		ins.zoneService = append(ins.zoneService, reg.Histogram("disksim_zone_service_ms", stats.Figure4Buckets, zl...))
+	}
+	return ins
+}
+
+// SetInstruments attaches (or, with nil, detaches) the metric set.
+func (d *Disk) SetInstruments(ins *Instruments) { d.ins = ins }
+
+// record folds one completion into the metric set. zone is the recording
+// zone the access landed in, or -1 for cache hits (no mechanical access).
+func (ins *Instruments) record(c *Completion, zone int) {
+	ins.served.Inc()
+	if c.CacheHit {
+		ins.cacheHits.Inc()
+	} else {
+		ins.cacheMisses.Inc()
+	}
+	if c.Retries > 0 {
+		ins.retries.Add(int64(c.Retries))
+	}
+	if c.Remapped {
+		ins.remaps.Inc()
+	}
+	ins.queueDelay.ObserveDuration(c.Parts.Queue)
+	svc := c.Finish - c.Start
+	ins.service.ObserveDuration(svc)
+	if zone >= 0 && zone < len(ins.zoneService) {
+		ins.zoneService[zone].ObserveDuration(svc)
+	}
+}
+
+// noteQueueDepth raises the peak-queue-depth gauge (order-free Max, so it
+// stays deterministic wherever it is called from).
+func (ins *Instruments) noteQueueDepth(depth int) {
+	if ins == nil {
+		return
+	}
+	ins.queuePeak.Max(float64(depth))
+}
+
+// SpanAttrs renders the completion's lifetime breakdown and fault
+// annotations as span attributes — the per-request record the RunStream
+// tracer hook emits (arrival -> seek/rotate/transfer -> completion, with
+// retry/remap marks).
+func SpanAttrs(c *Completion) []obs.Attr {
+	attrs := []obs.Attr{
+		obs.AttrInt("req", c.Request.ID),
+		obs.AttrDur("queue_ms", c.Parts.Queue),
+		obs.AttrDur("seek_ms", c.Parts.Seek),
+		obs.AttrDur("rotate_ms", c.Parts.Rotation),
+		obs.AttrDur("transfer_ms", c.Parts.Transfer),
+	}
+	if c.CacheHit {
+		attrs = append(attrs, obs.AttrBool("cache_hit", true))
+	}
+	if c.Retries > 0 {
+		attrs = append(attrs, obs.AttrInt("retries", int64(c.Retries)))
+	}
+	if c.Remapped {
+		attrs = append(attrs, obs.AttrBool("remapped", true))
+	}
+	return attrs
+}
+
+// recordSpan emits the request-lifetime span when a tracer is attached.
+func recordSpan(t *obs.Tracer, c *Completion) {
+	if t == nil {
+		return
+	}
+	t.Record(obs.Span{
+		Name:  "disk.request",
+		Start: c.Request.Arrival,
+		End:   c.Finish,
+		Attrs: SpanAttrs(c),
+	})
+}

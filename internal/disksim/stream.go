@@ -36,6 +36,7 @@ func (d *Disk) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Sink
 				e.Fail(err)
 				return
 			}
+			recordSpan(e.Tracer(), &c)
 			sink.Push(c)
 			admit(e)
 		})

@@ -47,6 +47,10 @@ type DRPM struct {
 	// SampleEvery, when positive, adds a periodic temperature-observation
 	// tick on the event-engine clock during RunStream (zero = off).
 	SampleEvery time.Duration
+
+	// Ins is the optional metric handle set (NewInstruments); nil — the
+	// default — keeps the control loop observation-free.
+	Ins *Instruments
 }
 
 // DRPMResult summarises a run.

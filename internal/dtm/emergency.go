@@ -86,6 +86,10 @@ type Escalation struct {
 	// SampleEvery, when positive, adds a periodic temperature-observation
 	// tick on the event-engine clock during RunStream (zero = off).
 	SampleEvery time.Duration
+
+	// Ins is the optional metric handle set (NewInstruments); nil — the
+	// default — keeps the control loop observation-free.
+	Ins *Instruments
 }
 
 // EscalationResult summarises a run.

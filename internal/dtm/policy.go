@@ -65,6 +65,10 @@ type Controller struct {
 	// MaxAirTemp reflects those observations. Zero (the default) keeps
 	// runs bit-identical to the batch path.
 	SampleEvery time.Duration
+
+	// Ins is the optional metric handle set (NewInstruments); nil — the
+	// default — keeps the control loop observation-free.
+	Ins *Instruments
 }
 
 // Result summarises a controlled run.
@@ -177,6 +181,10 @@ type SlackRamp struct {
 	// SampleEvery, when positive, adds a periodic temperature-observation
 	// tick on the event-engine clock during RunStream (zero = off).
 	SampleEvery time.Duration
+
+	// Ins is the optional metric handle set (NewInstruments); nil — the
+	// default — keeps the control loop observation-free.
+	Ins *Instruments
 }
 
 // RampResult summarises a slack-ramp run.

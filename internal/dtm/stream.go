@@ -77,7 +77,9 @@ func (c *Controller) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 	p95 := stats.MustP2(0.95)
 	maxT := start0.Air
 	note := func() {
-		if t := tr.State().Air; t > maxT {
+		t := tr.State().Air
+		c.Ins.noteTemp(t)
+		if t > maxT {
 			maxT = t
 		}
 	}
@@ -106,6 +108,8 @@ func (c *Controller) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			}
 			clock += pause
 			res.ThrottledTime += pause
+			c.Ins.throttle(pause)
+			throttleSpan(e, "dtm.throttle", clock-pause, clock, tr.State().Air)
 			start = clock
 			c.Disk.Delay(start)
 		}
@@ -224,7 +228,9 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 			tr.Advance(load(duty), to-clock)
 			clock = to
 		}
-		if t := tr.State().Air; t > maxT {
+		t := tr.State().Air
+		s.Ins.noteTemp(t)
+		if t > maxT {
 			maxT = t
 		}
 	}
@@ -246,6 +252,8 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 			boosted = true
 			res.Transitions++
 			clock += trans
+			s.Ins.transition()
+			throttleSpan(e, "dtm.rpm_transition", clock-trans, clock, air)
 			s.Disk.Delay(clock)
 			if err := s.Disk.SetRPM(s.BoostRPM); err != nil {
 				failed = err
@@ -256,6 +264,8 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 			boosted = false
 			res.Transitions++
 			clock += trans
+			s.Ins.transition()
+			throttleSpan(e, "dtm.rpm_transition", clock-trans, clock, air)
 			s.Disk.Delay(clock)
 			if err := s.Disk.SetRPM(base); err != nil {
 				failed = err
@@ -364,7 +374,9 @@ func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink 
 			res.TimeAtLevel[levels[level]] += d
 			clock = to
 		}
-		if a := tr.State().Air; a > maxT {
+		a := tr.State().Air
+		p.Ins.noteTemp(a)
+		if a > maxT {
 			maxT = a
 		}
 	}
@@ -385,6 +397,8 @@ func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink 
 			level--
 			res.Transitions++
 			clock += p.transition()
+			p.Ins.transition()
+			throttleSpan(e, "dtm.rpm_transition", clock-p.transition(), clock, air)
 			p.Disk.Delay(clock)
 			if err := p.Disk.SetRPM(levels[level]); err != nil {
 				failed = err
@@ -395,6 +409,8 @@ func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink 
 			level++
 			res.Transitions++
 			clock += p.transition()
+			p.Ins.transition()
+			throttleSpan(e, "dtm.rpm_transition", clock-p.transition(), clock, air)
 			p.Disk.Delay(clock)
 			if err := p.Disk.SetRPM(levels[level]); err != nil {
 				failed = err
@@ -512,7 +528,9 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 	p95 := stats.MustP2(0.95)
 	maxT := start0.Air
 	note := func() {
-		if t := tr.State().Air; t > maxT {
+		t := tr.State().Air
+		e.Ins.noteTemp(t)
+		if t > maxT {
 			maxT = t
 		}
 	}
@@ -544,6 +562,8 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			pause += 2 * trans // spin-down and spin-up
 			clock += pause
 			res.OfflineTime += pause
+			e.Ins.offline(pause)
+			throttleSpan(en, "dtm.offline", clock-pause, clock, tr.State().Air)
 			e.Disk.Delay(clock)
 			air = tr.State().Air
 		}
@@ -554,6 +574,8 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 				func(s thermal.State) bool { return s.Air <= throttleAt-hys })
 			clock += pause
 			res.ThrottledTime += pause
+			e.Ins.throttle(pause)
+			throttleSpan(en, "dtm.throttle", clock-pause, clock, tr.State().Air)
 			e.Disk.Delay(clock)
 			air = tr.State().Air
 		}
@@ -563,6 +585,8 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			level++
 			res.StepDowns++
 			clock += e.spinTransition()
+			e.Ins.transition()
+			throttleSpan(en, "dtm.rpm_transition", clock-e.spinTransition(), clock, air)
 			e.Disk.Delay(clock)
 			if err := e.Disk.SetRPM(levels[level]); err != nil {
 				failed = err
@@ -572,6 +596,7 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 		case air <= stepAt-hys && level > 0:
 			// De-escalate one step once the drive has cooled.
 			level--
+			e.Ins.transition()
 			clock += e.spinTransition()
 			e.Disk.Delay(clock)
 			if err := e.Disk.SetRPM(levels[level]); err != nil {

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledPathAllocsNothing pins the "disabled means free" contract as
+// a hard test (not just a benchmark): every nil-handle operation must be
+// allocation-free.
+func TestDisabledPathAllocsNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	var tr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.AddDuration(time.Millisecond)
+		g.Set(1)
+		g.Max(2)
+		h.Observe(3)
+		h.ObserveDuration(time.Millisecond)
+		tr.Record(Span{Name: "s"})
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkDisabledCounter measures the nil-handle fast path the
+// instrumented hot loops take when no registry is attached. The CI bench
+// gate pins this at 0 allocs/op.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkDisabledHistogram is the nil-histogram fast path.
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", []float64{5, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkEnabledCounter is the live atomic-add path, for scale.
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledHistogram is the live mutex+bucket path.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("x", []float64{5, 10, 20, 40, 60, 90, 120, 150, 200})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 250))
+	}
+}

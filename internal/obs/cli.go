@@ -1,0 +1,54 @@
+package obs
+
+import "flag"
+
+// CLI is the -metrics-out/-trace-out flag wiring shared by the commands:
+// RegisterFlags before flag.Parse, Enable after it, Flush once the run
+// finishes. With neither flag given, Registry and Tracer stay nil and every
+// instrumented layer keeps its zero-cost disabled path.
+type CLI struct {
+	MetricsOut string // snapshot path (.prom = Prometheus text, else NDJSON)
+	TraceOut   string // span-stream path (NDJSON)
+	Volatile   bool   // include host-dependent series in the snapshot
+
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// RegisterFlags declares the observability flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write a metrics snapshot here after the run (.prom = Prometheus text format, else NDJSON)")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write request/DTM lifetime spans here as NDJSON")
+	fs.BoolVar(&c.Volatile, "metrics-volatile", false,
+		"include host-dependent (volatile) series in -metrics-out; off keeps snapshots byte-reproducible")
+}
+
+// Enable materializes the sinks the parsed flags ask for.
+func (c *CLI) Enable() {
+	if c.MetricsOut != "" {
+		c.Registry = NewRegistry()
+	}
+	if c.TraceOut != "" {
+		c.Tracer = NewTracer(DefaultSpanLimit)
+	}
+}
+
+// Enabled reports whether any output was requested.
+func (c *CLI) Enabled() bool { return c.Registry != nil || c.Tracer != nil }
+
+// Flush writes the requested output files.
+func (c *CLI) Flush() error {
+	if c.Registry != nil {
+		if err := WriteSnapshotFile(c.MetricsOut, c.Registry, c.Volatile); err != nil {
+			return err
+		}
+	}
+	if c.Tracer != nil {
+		if err := WriteSpansFile(c.TraceOut, c.Tracer); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one series' state at snapshot time. The JSON field order (and
+// json.Marshal's shortest-round-trip float rendering) is what makes NDJSON
+// snapshots byte-comparable.
+type Metric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+
+	// Counter / gauge payloads.
+	Count int64    `json:"count,omitempty"` // counter value
+	Value *float64 `json:"value,omitempty"` // gauge value (pointer: 0 is meaningful)
+
+	// Histogram payload: Counts has one entry per edge plus the final
+	// open bucket; Sum and Max are in the series' own units.
+	Edges  []float64 `json:"edges,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	N      int64     `json:"n,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+
+	// Volatile marks a series excluded from deterministic snapshots.
+	Volatile bool `json:"volatile,omitempty"`
+
+	id string // canonical sort key, not serialized
+}
+
+// ID returns the series' canonical identity (name plus sorted labels).
+func (m Metric) ID() string { return m.id }
+
+// Snapshot returns every registered series, volatile included, sorted by
+// canonical id. It is safe to call while updates continue; each series is
+// read atomically (counters, gauges) or under its own lock (histograms).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	out := make([]Metric, 0, len(all))
+	for _, s := range all {
+		m := Metric{Name: s.name, Kind: s.kind.String(), Volatile: s.volatile, id: s.id}
+		if len(s.labels) > 0 {
+			m.Labels = make(map[string]string, len(s.labels))
+			for _, kv := range s.labels {
+				m.Labels[kv[0]] = kv[1]
+			}
+		}
+		switch s.kind {
+		case counterKind:
+			m.Count = s.c.Value()
+		case gaugeKind:
+			v := s.g.Value()
+			m.Value = &v
+		case histogramKind:
+			n, sum, max, counts := s.h.snapshot()
+			m.N, m.Sum, m.Max, m.Counts = n, sum, max, counts
+			m.Edges = append([]float64(nil), s.h.edges...)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Stable filters a snapshot down to the deterministic series — the set the
+// byte-identity contract covers and the -metrics-out writers emit.
+func Stable(ms []Metric) []Metric {
+	out := make([]Metric, 0, len(ms))
+	for _, m := range ms {
+		if !m.Volatile {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteNDJSON writes one JSON object per series, in snapshot order.
+func WriteNDJSON(w io.Writer, ms []Metric) error {
+	enc := json.NewEncoder(w)
+	for i := range ms {
+		if err := enc.Encode(&ms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON parses a WriteNDJSON stream back into metrics (cmd/obsdump's
+// input path). Blank lines are skipped; ids are rebuilt from name+labels.
+func ReadNDJSON(r io.Reader) ([]Metric, error) {
+	dec := json.NewDecoder(r)
+	var out []Metric
+	for {
+		var m Metric
+		if err := dec.Decode(&m); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([][2]string, len(keys))
+		for i, k := range keys {
+			pairs[i] = [2]string{k, m.Labels[k]}
+		}
+		m.id = seriesID(m.Name, pairs)
+		out = append(out, m)
+	}
+}
+
+// escapeLabel escapes a label value for the Prometheus text format
+// (backslash, double-quote, and newline).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders {k="v",...} (empty string for no labels), with an
+// optional extra pair appended (the histogram "le" label).
+func promLabels(labels map[string]string, extraK, extraV string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraK, escapeLabel(extraV))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: one # TYPE line per metric name, histogram series expanded into
+// cumulative _bucket/_sum/_count.
+func WritePrometheus(w io.Writer, ms []Metric) error {
+	typed := make(map[string]bool)
+	for _, m := range ms {
+		if !typed[m.Name] {
+			typed[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.Count); err != nil {
+				return err
+			}
+		case "gauge":
+			var v float64
+			if m.Value != nil {
+				v = *m.Value
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m.Labels, "", ""), formatFloat(v)); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum int64
+			for i, c := range m.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(m.Edges) {
+					le = formatFloat(m.Edges[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels, "", ""), formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.N); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the deterministic (non-volatile) part of the
+// registry's snapshot to path: Prometheus text format when the path ends in
+// .prom, NDJSON otherwise. Passing includeVolatile keeps the volatile
+// series (their values are host- and schedule-dependent).
+func WriteSnapshotFile(path string, r *Registry, includeVolatile bool) error {
+	ms := r.Snapshot()
+	if !includeVolatile {
+		ms = Stable(ms)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") {
+		err = WritePrometheus(f, ms)
+	} else {
+		err = WriteNDJSON(f, ms)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNDJSONRoundTrip: ReadNDJSON(WriteNDJSON(snapshot)) preserves every
+// series, payload, and canonical id — the obsdump golden gate relies on it.
+func TestNDJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs", "workload", "TPC-C").Add(42)
+	r.Gauge("temp", "policy", "drpm").Set(45.25)
+	r.Histogram("svc_ms", []float64{5, 10}, "rpm", "15000").Observe(7)
+
+	var b strings.Builder
+	snap := r.Snapshot()
+	if err := WriteNDJSON(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNDJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(snap) {
+		t.Fatalf("round-trip lost series: %d != %d", len(back), len(snap))
+	}
+	for i := range snap {
+		if back[i].ID() != snap[i].ID() {
+			t.Errorf("id %d: %q != %q", i, back[i].ID(), snap[i].ID())
+		}
+		if back[i].Count != snap[i].Count || back[i].N != snap[i].N {
+			t.Errorf("payload %d drifted", i)
+		}
+		if (back[i].Value == nil) != (snap[i].Value == nil) {
+			t.Errorf("gauge pointer %d drifted", i)
+		}
+	}
+}
+
+// TestStableFiltersVolatile: volatile series appear in Snapshot but are
+// removed from the deterministic view.
+func TestStableFiltersVolatile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det").Inc()
+	r.VolatileCounter("busy_ns").Add(123)
+	r.VolatileGauge("workers").Set(4)
+	all := r.Snapshot()
+	if len(all) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(all))
+	}
+	st := Stable(all)
+	if len(st) != 1 || st[0].Name != "det" {
+		t.Fatalf("Stable kept %v, want only det", st)
+	}
+}
+
+// TestPrometheusFormat pins the text exposition rendering: TYPE lines,
+// cumulative histogram buckets with le labels and +Inf, _sum/_count.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "workload", "TPC-C").Add(3)
+	h := r.Histogram("svc_ms", []float64{5, 10}, "rpm", "15000")
+	h.Observe(4)
+	h.Observe(7)
+	h.Observe(70)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{workload="TPC-C"} 3`,
+		"# TYPE svc_ms histogram",
+		`svc_ms_bucket{rpm="15000",le="5"} 1`,
+		`svc_ms_bucket{rpm="15000",le="10"} 2`,
+		`svc_ms_bucket{rpm="15000",le="+Inf"} 3`,
+		`svc_ms_sum{rpm="15000"} 81`,
+		`svc_ms_count{rpm="15000"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelEscaping: backslash, quote, and newline must be escaped in both
+// the Prometheus rendering and the canonical id.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "path", "a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("want %q in:\n%s", want, b.String())
+	}
+	if id := r.Snapshot()[0].ID(); !strings.Contains(id, `a\\b\"c\nd`) {
+		t.Errorf("canonical id not escaped: %s", id)
+	}
+	// The escaped forms must stay distinguishable: `a\"b` and `a"b` differ.
+	r2 := NewRegistry()
+	r2.Counter("c", "v", `a\"b`)
+	r2.Counter("c", "v", `a"b`)
+	if n := len(r2.Snapshot()); n != 2 {
+		t.Errorf("escape collision: %d series, want 2", n)
+	}
+}

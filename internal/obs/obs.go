@@ -1,0 +1,312 @@
+// Package obs is the observability spine: a dependency-free (stdlib +
+// internal/stats only), concurrency-safe metrics registry plus the
+// lightweight trace spans the sim-engine layers emit per request.
+//
+// Two contracts shape the design:
+//
+//   - Disabled means free. Every constructor is nil-receiver tolerant: a nil
+//     *Registry hands out nil handles, and every operation on a nil handle
+//     (Counter.Add, Gauge.Set, Histogram.Observe, Tracer.Record) is a
+//     single branch with zero allocations. Instrumented hot paths therefore
+//     cost nothing when no registry is attached — pinned by the
+//     zero-allocation benchmark in bench_test.go.
+//
+//   - Deterministic under the sweep engine. Snapshots must be byte-identical
+//     at any -workers count, so the registry only offers operations whose
+//     final state is independent of interleaving: counters are commutative
+//     integer adds, histograms are commutative bucket increments, and
+//     gauges follow a single-writer-per-series discipline (each sweep cell
+//     labels its own series) or use the order-free Max. Series that cannot
+//     be deterministic (wall-clock worker busy time) are registered as
+//     *volatile* and excluded from the default snapshot via Stable.
+//
+// Series are identified by name plus label pairs; Snapshot returns them
+// sorted by canonical id, so two registries that saw the same updates in
+// any order render the same bytes.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically-increasing integer series. The zero value is
+// ready to use; a nil Counter ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (nil-safe; negative adds are a programming error but are not
+// checked on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// AddDuration adds a duration as nanoseconds (counters are integers, and
+// nanoseconds lose nothing of a time.Duration).
+func (c *Counter) AddDuration(d time.Duration) { c.Add(int64(d)) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-written float64 series. Writes must follow a
+// single-writer-per-series discipline for deterministic snapshots (or use
+// Max, which is order-free). A nil Gauge ignores updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (nil-safe).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Max raises the gauge to v if v is larger — commutative, so it stays
+// deterministic with concurrent writers.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets. It wraps the
+// internal/stats accumulators (BucketCounts for the bucket CDF, Running for
+// count/sum/max) behind a mutex: bucket membership is exact, nothing is
+// retained per observation, and a mutex (rather than per-bucket atomics)
+// keeps count/sum/bucket mutually consistent in snapshots. A nil Histogram
+// ignores observations.
+type Histogram struct {
+	mu      sync.Mutex
+	edges   []float64
+	buckets *stats.BucketCounts
+	run     stats.Running
+}
+
+// Observe records one observation (units are the series' own; the sim
+// layers record milliseconds, matching internal/stats).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.buckets.AddMillis(v)
+	h.run.AddMillis(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// snapshot returns (count, sum, max, per-bucket counts) consistently.
+func (h *Histogram) snapshot() (int64, float64, float64, []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.run.N(), h.run.Sum(), h.run.Max(), h.buckets.Counts()
+}
+
+// kind discriminates the three series types.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered metric.
+type series struct {
+	id       string
+	name     string
+	labels   [][2]string
+	kind     kind
+	volatile bool
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry holds the registered series. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the disabled state: every constructor
+// returns a nil handle and Snapshot returns nil.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesID renders the canonical identity: name{k1="v1",k2="v2"} with keys
+// sorted, the same form the Prometheus exporter emits.
+func seriesID(name string, labels [][2]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// pairLabels converts alternating key/value strings into sorted pairs.
+// An odd count is a programming error and panics at registration time
+// (never on a hot path — handles are created once at setup).
+func pairLabels(labels []string) [][2]string {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([][2]string, len(labels)/2)
+	for i := range out {
+		out[i] = [2]string{labels[2*i], labels[2*i+1]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// register returns the series for (name, labels), creating it on first use.
+// Re-registering with a different kind panics: two call sites disagreeing
+// about a series' type is a bug worth failing loudly over.
+func (r *Registry) register(name string, k kind, volatile bool, labels []string, edges []float64) *series {
+	pairs := pairLabels(labels)
+	id := seriesID(name, pairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[id]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("obs: series %s re-registered as %v (was %v)", id, k, s.kind))
+		}
+		return s
+	}
+	s := &series{id: id, name: name, labels: pairs, kind: k, volatile: volatile}
+	switch k {
+	case counterKind:
+		s.c = &Counter{}
+	case gaugeKind:
+		s.g = &Gauge{}
+	case histogramKind:
+		e := append([]float64(nil), edges...)
+		s.h = &Histogram{edges: e, buckets: stats.NewBucketCounts(e)}
+	}
+	r.series[id] = s
+	return s
+}
+
+// Counter returns the counter for name and alternating key/value labels,
+// registering it on first use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, counterKind, false, labels, nil).c
+}
+
+// Gauge returns the gauge for name and labels (nil registry: nil handle).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, gaugeKind, false, labels, nil).g
+}
+
+// Histogram returns the fixed-bucket histogram for name and labels; edges
+// must be ascending (observations above the last edge land in a final open
+// bucket, exactly as stats.BucketCounts). Re-registration ignores edges and
+// returns the existing series.
+func (r *Registry) Histogram(name string, edges []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, histogramKind, false, labels, edges).h
+}
+
+// VolatileCounter registers a counter whose value is legitimately
+// nondeterministic (wall-clock busy time, host-dependent totals). Volatile
+// series appear in Snapshot but are removed by Stable, which is what the
+// -metrics-out writers use — so they never break snapshot byte-identity.
+func (r *Registry) VolatileCounter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, counterKind, true, labels, nil).c
+}
+
+// VolatileGauge is VolatileCounter for gauges.
+func (r *Registry) VolatileGauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, gaugeKind, true, labels, nil).g
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilHandles: every operation on nil handles (the disabled state) must
+// be a safe no-op — this is the API contract the instrumented hot paths
+// rely on.
+func TestNilHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	c.AddDuration(time.Second)
+	g.Set(1)
+	g.SetInt(2)
+	g.Max(3)
+	h.Observe(1)
+	h.ObserveDuration(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the <=edge semantics: an observation
+// exactly on an edge lands in that edge's bucket, just above it in the
+// next, and past the last edge in the final open bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	edges := []float64{5, 10, 20}
+	h := r.Histogram("svc_ms", edges)
+	for _, v := range []float64{5, 5.0001, 10, 20, 20.0001, 1000} {
+		h.Observe(v)
+	}
+	ms := r.Snapshot()
+	if len(ms) != 1 {
+		t.Fatalf("want 1 series, got %d", len(ms))
+	}
+	m := ms[0]
+	want := []int64{1, 2, 1, 2} // <=5, <=10, <=20, open
+	if len(m.Counts) != len(want) {
+		t.Fatalf("counts %v, want %v", m.Counts, want)
+	}
+	for i := range want {
+		if m.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, m.Counts[i], want[i], m.Counts)
+		}
+	}
+	if m.N != 6 {
+		t.Errorf("n = %d, want 6", m.N)
+	}
+	if m.Max != 1000 {
+		t.Errorf("max = %g, want 1000", m.Max)
+	}
+	wantSum := 5 + 5.0001 + 10 + 20 + 20.0001 + 1000
+	if m.Sum != wantSum {
+		t.Errorf("sum = %g, want %g", m.Sum, wantSum)
+	}
+}
+
+// TestRegistryIdempotent: registering the same (name, labels) twice returns
+// the same underlying series regardless of label argument order.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", "workload", "TPC-C", "rpm", "15000")
+	b := r.Counter("reqs", "rpm", "15000", "workload", "TPC-C")
+	if a != b {
+		t.Fatal("label order must not fork the series")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("handles must share state")
+	}
+	if n := len(r.Snapshot()); n != 1 {
+		t.Fatalf("want 1 series, got %d", n)
+	}
+}
+
+// TestRegistryKindMismatchPanics: a name/labels pair re-registered as a
+// different kind is a bug that must fail loudly.
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestOddLabelsPanics: a dangling label key is a registration-time bug.
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	r.Counter("x", "key-without-value")
+}
+
+// TestGaugeMax: Max is order-free — any interleaving of the same writes
+// converges to the same value.
+func TestGaugeMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	for _, v := range []float64{3, 7, 2, 7, 5} {
+		g.Max(v)
+	}
+	if g.Value() != 7 {
+		t.Fatalf("max = %g, want 7", g.Value())
+	}
+	g.Set(1) // Set may lower; Max may not
+	g.Max(0.5)
+	if g.Value() != 1 {
+		t.Fatalf("after Set(1)/Max(0.5): %g, want 1", g.Value())
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines and
+// checks the commutative operations land exactly; run with -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	g := r.Gauge("peak")
+	h := r.Histogram("v", []float64{10})
+	const goroutines, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Max(float64(w*iters + i))
+				h.Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*iters)
+	}
+	if g.Value() != float64(goroutines*iters-1) {
+		t.Errorf("max gauge = %g, want %d", g.Value(), goroutines*iters-1)
+	}
+	ms := r.Snapshot()
+	for _, m := range ms {
+		if m.Name == "v" && m.N != goroutines*iters {
+			t.Errorf("histogram n = %d, want %d", m.N, goroutines*iters)
+		}
+	}
+}
+
+// TestSnapshotOrderIndependent: two registries fed the same updates in
+// different orders must render byte-identical NDJSON — the heart of the
+// workers-1 vs workers-4 contract.
+func TestSnapshotOrderIndependent(t *testing.T) {
+	build := func(reverse bool) string {
+		r := NewRegistry()
+		steps := []string{"10000", "15000", "20000"}
+		if reverse {
+			steps = []string{"20000", "15000", "10000"}
+		}
+		for _, rpm := range steps {
+			r.Counter("reqs", "rpm", rpm).Add(int64(len(rpm)))
+			r.Histogram("svc", []float64{5, 10}, "rpm", rpm).Observe(7)
+		}
+		var b strings.Builder
+		if err := WriteNDJSON(&b, Stable(r.Snapshot())); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := build(false), build(true); a != b {
+		t.Fatalf("snapshots differ by registration order:\n%s\nvs\n%s", a, b)
+	}
+}

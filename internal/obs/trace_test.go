@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerRecordAndIDs: IDs are assigned in record order, starting at 1.
+func TestTracerRecordAndIDs(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(Span{Name: "a", Start: 0, End: time.Millisecond})
+	tr.Record(Span{Name: "b", Start: time.Millisecond, End: 2 * time.Millisecond})
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].ID != 1 || spans[1].ID != 2 {
+		t.Fatalf("spans %+v", spans)
+	}
+	if spans[1].Dur() != time.Millisecond {
+		t.Errorf("dur = %v", spans[1].Dur())
+	}
+}
+
+// TestTracerLimit: spans past the cap are counted, not retained.
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Name: "s"})
+	}
+	if n := len(tr.Spans()); n != 2 {
+		t.Fatalf("retained %d, want 2", n)
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Fatalf("dropped %d, want 3", d)
+	}
+}
+
+// TestTracerMergeOrder: merging sub-tracers in a fixed order yields the
+// same span sequence and IDs no matter how the subs were filled — the
+// mechanism behind deterministic -trace-out under -workers N.
+func TestTracerMergeOrder(t *testing.T) {
+	subA, subB := NewTracer(0), NewTracer(0)
+	subA.Record(Span{Name: "a1"})
+	subA.Record(Span{Name: "a2"})
+	subB.Record(Span{Name: "b1"})
+
+	root := NewTracer(0)
+	root.Merge(subA)
+	root.Merge(subB)
+	var names []string
+	for _, s := range root.Spans() {
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ","); got != "a1,a2,b1" {
+		t.Fatalf("merged order %q", got)
+	}
+	for i, s := range root.Spans() {
+		if s.ID != int64(i+1) {
+			t.Fatalf("merged IDs not reassigned: %+v", root.Spans())
+		}
+	}
+}
+
+// TestTracerMergeCarriesDropped: a sub's overflow count survives the merge.
+func TestTracerMergeCarriesDropped(t *testing.T) {
+	sub := NewTracer(1)
+	sub.Record(Span{Name: "kept"})
+	sub.Record(Span{Name: "lost"})
+	root := NewTracer(0)
+	root.Merge(sub)
+	if root.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", root.Dropped())
+	}
+}
+
+// TestNilTracer: the disabled state ignores everything.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "x"})
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+	var root *Tracer
+	root.Merge(NewTracer(0)) // nil receiver
+	NewTracer(0).Merge(nil)  // nil sub
+}
+
+// TestWriteSpans pins the NDJSON rendering, attrs included.
+func TestWriteSpans(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(Span{
+		Name:  "disk.request",
+		Start: 1500 * time.Microsecond,
+		End:   2 * time.Millisecond,
+		Attrs: []Attr{AttrInt("req", 7), AttrDur("queue_ms", 500*time.Microsecond)},
+	})
+	var b strings.Builder
+	if err := WriteSpans(&b, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":1,"name":"disk.request","start_ns":1500000,"end_ns":2000000,"attrs":[{"k":"req","v":"7"},{"k":"queue_ms","v":"0.5"}]}` + "\n"
+	if b.String() != want {
+		t.Fatalf("got %q\nwant %q", b.String(), want)
+	}
+}

@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the sweep engine's instrumentation hook, installed globally
+// with SetMetrics (the pool has no per-call handle to thread one through).
+// Runs/Items/Errors are deterministic — they count work submitted, which is
+// the same at every worker count. BusyNanos and Workers measure wall-clock
+// utilization and pool width, which legitimately vary run to run, so they
+// are registered volatile: Registry.Stable drops them from golden-compared
+// snapshots while live Prometheus scrapes still see them.
+type Metrics struct {
+	Runs      *obs.Counter // Map/Grid invocations
+	Items     *obs.Counter // items started
+	Errors    *obs.Counter // items that returned an error
+	BusyNanos *obs.Counter // volatile: summed wall-clock item time
+	Workers   *obs.Gauge   // volatile: peak pool width observed
+}
+
+// NewMetrics registers the sweep-engine series on reg (nil reg → nil, the
+// disabled state) without installing them; pass the result to SetMetrics.
+func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:      reg.Counter("parallel_runs_total", labels...),
+		Items:     reg.Counter("parallel_items_total", labels...),
+		Errors:    reg.Counter("parallel_item_errors_total", labels...),
+		BusyNanos: reg.VolatileCounter("parallel_busy_ns_total", labels...),
+		Workers:   reg.VolatileGauge("parallel_workers_peak", labels...),
+	}
+}
+
+// metrics is the installed hook; nil (the default) keeps Map free: one
+// atomic load per call, no allocation, no per-item work.
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the global sweep-engine
+// metrics hook. Safe to call concurrently with running sweeps; in-flight
+// Map calls keep the hook they loaded at entry.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
+
+// noteRun records one Map invocation on the installed hook.
+func noteRun(m *Metrics, items, workers int) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Items.Add(int64(items))
+	m.Workers.Max(float64(workers))
+}
+
+// noteItem records one finished item's wall-clock time and error outcome.
+func noteItem(m *Metrics, start time.Time, failed bool) {
+	if m == nil {
+		return
+	}
+	m.BusyNanos.Add(time.Since(start).Nanoseconds())
+	if failed {
+		m.Errors.Inc()
+	}
+}
+
+// now avoids the time.Now call entirely when metrics are off — the
+// disabled path must not touch the clock.
+func now(m *Metrics) time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

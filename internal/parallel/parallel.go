@@ -85,11 +85,15 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		return []R{}, nil
 	}
 	workers = clamp(workers, n)
+	mtr := metrics.Load()
+	noteRun(mtr, n, workers)
 
 	results := make([]R, n)
 	if workers == 1 {
 		for i, it := range items {
+			start := now(mtr)
 			r, err := callItem(fn, i, it)
+			noteItem(mtr, start, err != nil)
 			if err != nil {
 				return nil, err
 			}
@@ -125,6 +129,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 				return
 			}
 			func() {
+				start := now(mtr)
 				defer func() {
 					if v := recover(); v != nil {
 						ip, ok := v.(itemPanic)
@@ -140,6 +145,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 					}
 				}()
 				r, err := fn(i, items[i])
+				noteItem(mtr, start, err != nil)
 				if err != nil {
 					record(i, err)
 					return

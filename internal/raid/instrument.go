@@ -1,0 +1,111 @@
+package raid
+
+import (
+	"strconv"
+
+	"repro/internal/disksim"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// instruments is the volume layer's metric handle set. The slowest slice
+// has one counter per member disk: the slowest-disk breakdown says which
+// member gates the stripe (the paper's DTM argument is exactly that the
+// hottest/busiest member sets the service time).
+type instruments struct {
+	requests    *obs.Counter
+	subRequests *obs.Counter
+	cacheHits   *obs.Counter
+	response    *obs.Histogram
+	slowest     []*obs.Counter
+
+	// Recovery-path series (only advanced by a RecoverySession).
+	degraded        *obs.Counter
+	reconstructions *obs.Counter
+	exposedWrites   *obs.Counter
+	lostRequests    *obs.Counter
+	rebuilds        *obs.Counter
+}
+
+// Instrument registers the volume's metric set on reg under the given
+// alternating key/value labels and attaches one shared disk-level set (plus
+// per-zone service histograms) to every member disk. A nil registry
+// detaches everything — the zero-cost default.
+func (v *Volume) Instrument(reg *obs.Registry, labels ...string) {
+	if reg == nil {
+		v.ins = nil
+		for _, d := range v.disks {
+			d.SetInstruments(nil)
+		}
+		return
+	}
+	ins := &instruments{
+		requests:        reg.Counter("raid_requests_total", labels...),
+		subRequests:     reg.Counter("raid_sub_requests_total", labels...),
+		cacheHits:       reg.Counter("raid_cache_hits_total", labels...),
+		response:        reg.Histogram("raid_response_ms", stats.Figure4Buckets, labels...),
+		degraded:        reg.Counter("raid_degraded_requests_total", labels...),
+		reconstructions: reg.Counter("raid_reconstructions_total", labels...),
+		exposedWrites:   reg.Counter("raid_exposed_writes_total", labels...),
+		lostRequests:    reg.Counter("raid_lost_requests_total", labels...),
+		rebuilds:        reg.Counter("raid_rebuilds_total", labels...),
+	}
+	for i := range v.disks {
+		dl := append(append([]string(nil), labels...), "disk", strconv.Itoa(i))
+		ins.slowest = append(ins.slowest, reg.Counter("raid_slowest_disk_total", dl...))
+	}
+	v.ins = ins
+
+	zones := len(v.disks[0].Layout().Zones)
+	shared := disksim.NewInstruments(reg, zones, labels...)
+	for _, d := range v.disks {
+		d.SetInstruments(shared)
+	}
+}
+
+// record folds one volume completion into the metric set (nil-safe).
+func (ins *instruments) record(c *Completion) {
+	if ins == nil {
+		return
+	}
+	ins.requests.Inc()
+	ins.subRequests.Add(int64(c.SubRequests))
+	ins.cacheHits.Add(int64(c.CacheHits))
+	ins.response.ObserveDuration(c.Response())
+	if c.SlowestDisk >= 0 && c.SlowestDisk < len(ins.slowest) {
+		ins.slowest[c.SlowestDisk].Inc()
+	}
+	if c.Degraded {
+		ins.degraded.Inc()
+	}
+}
+
+// recordSpan emits the volume-request lifetime span when a tracer is
+// attached: arrival to completion, annotated with the gating member and
+// degraded-mode service.
+func recordSpan(t *obs.Tracer, c *Completion) {
+	if t == nil {
+		return
+	}
+	attrs := []obs.Attr{
+		obs.AttrInt("req", c.Request.ID),
+		obs.AttrInt("subs", int64(c.SubRequests)),
+		obs.AttrInt("slowest_disk", int64(c.SlowestDisk)),
+		obs.AttrDur("queue_ms", c.Parts.Queue),
+		obs.AttrDur("seek_ms", c.Parts.Seek),
+		obs.AttrDur("rotate_ms", c.Parts.Rotation),
+		obs.AttrDur("transfer_ms", c.Parts.Transfer),
+	}
+	if c.CacheHits > 0 {
+		attrs = append(attrs, obs.AttrInt("cache_hits", int64(c.CacheHits)))
+	}
+	if c.Degraded {
+		attrs = append(attrs, obs.AttrBool("degraded", true))
+	}
+	t.Record(obs.Span{
+		Name:  "raid.request",
+		Start: c.Request.Arrival,
+		End:   c.Finish,
+		Attrs: attrs,
+	})
+}

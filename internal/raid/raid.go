@@ -97,6 +97,7 @@ func (c Completion) Response() time.Duration { return c.Finish - c.Request.Arriv
 // concurrent use.
 type Volume struct {
 	disks      []*disksim.Disk
+	ins        *instruments // optional metric handles; nil = free
 	level      Level
 	stripeUnit int64
 	perDisk    int64 // addressable sectors per member disk

@@ -248,6 +248,9 @@ func (s *RecoverySession) advanceRebuilds(now time.Duration) {
 			delete(s.rebuilds, i)
 			s.report.Events = append(s.report.Events,
 				FaultEvent{Time: rb.done, Kind: EventRebuildCompleted, Disk: i})
+			if s.v.ins != nil {
+				s.v.ins.rebuilds.Inc()
+			}
 		}
 	}
 }
@@ -468,6 +471,13 @@ func (s *RecoverySession) Serve(r Request) (Completion, error) {
 		if c.Exposed {
 			s.report.ExposedWrites++
 		}
+		if ins := s.v.ins; ins != nil {
+			ins.record(&c)
+			ins.reconstructions.Add(int64(ds.recon))
+			if c.Exposed {
+				ins.exposedWrites.Inc()
+			}
+		}
 		return c, nil
 	}
 	return Completion{}, fmt.Errorf("%w: request %d found no serviceable mapping", ErrDataLoss, r.ID)
@@ -496,6 +506,9 @@ func (s *RecoverySession) RunStream(eng *sim.Engine, src sim.Source[Request], si
 				// data is gone, but the replay goes on — the report counts
 				// the casualties instead of aborting at the first one.
 				s.report.LostRequests++
+				if s.v.ins != nil {
+					s.v.ins.lostRequests.Inc()
+				}
 				admit(e)
 				return
 			}
@@ -504,6 +517,7 @@ func (s *RecoverySession) RunStream(eng *sim.Engine, src sim.Source[Request], si
 				e.Fail(err)
 				return
 			}
+			recordSpan(e.Tracer(), &c)
 			sink.Push(c)
 			admit(e)
 		})

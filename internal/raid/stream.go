@@ -40,6 +40,7 @@ func (v *Volume) Serve(r Request) (Completion, error) {
 	if v.writeBack > 0 && r.Write {
 		c.Finish = r.Arrival + v.writeBack
 	}
+	v.ins.record(&c)
 	return c, nil
 }
 
@@ -77,6 +78,7 @@ func (v *Volume) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Si
 				e.Fail(err)
 				return
 			}
+			recordSpan(e.Tracer(), &c)
 			sink.Push(c)
 			admit(e)
 		})

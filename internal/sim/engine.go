@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrStopped is returned by Run when a handler called Stop.
@@ -57,10 +59,20 @@ type Engine struct {
 	queue   eventHeap
 	err     error
 	stopped bool
+	tracer  *obs.Tracer
 }
 
 // NewEngine returns an engine with its clock at zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetTracer attaches a span collector to the engine. Processes running on
+// the engine (disk service, RAID fan-out, DTM control) consult Tracer per
+// event and record request-lifetime spans when it is non-nil; with no
+// tracer attached the check is a single nil branch and nothing allocates.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached span collector (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() time.Duration { return e.now }

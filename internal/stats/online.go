@@ -46,6 +46,10 @@ func (r *Running) Mean() float64 {
 // Max returns the largest observation in milliseconds.
 func (r *Running) Max() float64 { return r.max }
 
+// Sum returns the running sum in milliseconds (the exact value Mean divides
+// by N, exposed for exporters that need the numerator itself).
+func (r *Running) Sum() float64 { return r.sum }
+
 // P2 estimates one quantile online with the P² algorithm (Jain & Chlamtac,
 // CACM 1985): five markers track the quantile and its neighbourhood, and a
 // piecewise-parabolic update keeps them near their ideal ranks. Memory is
@@ -207,6 +211,16 @@ func (b *BucketCounts) AddMillis(ms float64) {
 
 // N returns the number of observations.
 func (b *BucketCounts) N() int64 { return b.n }
+
+// Counts returns a copy of the per-bucket counts: one entry per edge
+// (observations <= that edge and above the previous) plus the final open
+// bucket.
+func (b *BucketCounts) Counts() []int64 {
+	return append([]int64(nil), b.counts...)
+}
+
+// Edges returns the bucket edges the counter was built over.
+func (b *BucketCounts) Edges() []float64 { return b.edges }
 
 // CDF returns the cumulative fraction at or below each edge plus the final
 // open-bucket 1.0 entry, in the same shape Sample.CDF returns.

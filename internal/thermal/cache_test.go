@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -110,6 +111,88 @@ func TestCacheConcurrentReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestCacheStatsConcurrent reads the hit/miss counters while writers are
+// still hammering the cache: CacheStats and ResetCacheStats must be safe to
+// call mid-sweep (the counters are atomics), and the totals must balance
+// once the writers join; run with -race.
+func TestCacheStatsConcurrent(t *testing.T) {
+	m, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 8, 200
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent reader: must not race with the writers
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := m.CacheStats()
+				if s.SteadyHits < 0 || s.SteadyMisses < 0 {
+					t.Error("counter went negative")
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				m.SteadyState(WorstCase(units.RPM(9000 + 1500*(g%3))))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	s := m.CacheStats()
+	if got := s.SteadyHits + s.SteadyMisses; got != goroutines*iters {
+		t.Errorf("hits+misses = %d, want %d", got, goroutines*iters)
+	}
+	m.ResetCacheStats()
+	if s := m.CacheStats(); s != (CacheStats{}) {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+// TestExportCache publishes the counters to a registry and checks the gauge
+// values and that re-exporting overwrites rather than accumulates.
+func TestExportCache(t *testing.T) {
+	m, err := New(ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SteadyState(WorstCase(15000))
+	m.SteadyState(WorstCase(15000))
+	reg := obs.NewRegistry()
+	m.ExportCache(reg, "drive", "ref")
+	m.ExportCache(reg, "drive", "ref") // idempotent: gauges overwrite
+	find := func(name string) float64 {
+		t.Helper()
+		for _, mt := range reg.Snapshot() {
+			if mt.Name == name && mt.Value != nil {
+				return *mt.Value
+			}
+		}
+		t.Fatalf("series %s not found", name)
+		return 0
+	}
+	if hits := find("thermal_cache_steady_hits"); hits != 1 {
+		t.Errorf("steady hits gauge = %v, want 1", hits)
+	}
+	if misses := find("thermal_cache_steady_misses"); misses != 1 {
+		t.Errorf("steady misses gauge = %v, want 1", misses)
+	}
+	var nilModelSafe *obs.Registry
+	m.ExportCache(nilModelSafe) // nil registry is a no-op
 }
 
 // TestCacheAliasFallsThrough: two distinct loads inside one quantization
