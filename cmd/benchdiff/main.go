@@ -58,6 +58,7 @@ func main() {
 	flag.Parse()
 	if len(baselines) == 0 || flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline BENCH_x.json [-baseline ...] [bench-output.txt]")
+		fmt.Fprintln(os.Stderr, "compares each benchmark's best-of-count (minimum) ns/op against the baseline")
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin

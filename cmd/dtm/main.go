@@ -7,7 +7,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -38,7 +37,15 @@ func main() {
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	oc.Enable()
-	if err := run(*slack, *throttle, *policy, *emergency, *faults, *faultseed, *failscale, *requests, &oc); err != nil {
+	// An interrupted run still flushes -metrics-out/-trace-out before
+	// exiting with the conventional 128+signal status.
+	stopFlush := oc.FlushOnInterrupt()
+	err := run(*slack, *throttle, *policy, *emergency, *faults, *faultseed, *failscale, *requests, &oc)
+	stopFlush() // uninstall before the normal flush so the writers cannot race
+	if err == nil {
+		err = oc.Flush()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtm:", err)
 		os.Exit(1)
 	}
@@ -65,7 +72,7 @@ func run(slack, throttle, policy, emergency, faults bool, faultseed int64, fails
 			return err
 		}
 	}
-	return oc.Flush()
+	return nil
 }
 
 // engine returns a fresh event engine with the -trace-out tracer attached
@@ -314,27 +321,9 @@ func runEmergency(requests int, faults bool, seed int64, failscale float64, oc *
 	return nil
 }
 
-// policySource yields the seeded synthetic policy workload lazily; every
-// call returns a fresh source replaying the identical sequence, so each
-// controller sees the same requests without the trace ever being
-// materialized.
+// policySource is the seeded synthetic policy workload (seed 11, the
+// historic comparison seed), shared with the serving layer via
+// dtm.SyntheticSource.
 func policySource(total int64, n int, rate float64) sim.Source[disksim.Request] {
-	rng := rand.New(rand.NewSource(11))
-	now := 0.0
-	i := 0
-	return sim.SourceFunc[disksim.Request](func() (disksim.Request, bool) {
-		if i >= n {
-			return disksim.Request{}, false
-		}
-		now += rng.ExpFloat64() / rate
-		r := disksim.Request{
-			ID:      int64(i),
-			Arrival: time.Duration(now * float64(time.Second)),
-			LBN:     rng.Int63n(total - 64),
-			Sectors: 8,
-			Write:   rng.Float64() < 0.3,
-		}
-		i++
-		return r, true
-	})
+	return dtm.SyntheticSource(total, n, rate, 11)
 }

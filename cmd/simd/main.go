@@ -1,0 +1,82 @@
+// Command simd serves the simulator as a long-running service: roadmap
+// sweeps, Figure-4 trace replays, DTM policy runs and RAID recovery
+// scenarios submitted as HTTP/JSON jobs, executed on a bounded worker pool
+// and streamed back as NDJSON. SIGINT/SIGTERM drain gracefully: no new
+// jobs, in-flight work gets -drain-timeout to finish, metrics flush, exit 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts against :0)")
+		workers      = flag.Int("workers", 2, "concurrent jobs")
+		queueDepth   = flag.Int("queue", 16, "queued jobs admitted before 429")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline ceiling")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
+		maxRequests  = flag.Int("max-requests", 200000, "per-job trace-length cap")
+		metricsOut   = flag.String("metrics-out", "", "write a final metrics snapshot here on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, *workers, *queueDepth, *jobTimeout, *drainTimeout, *maxRequests, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, workers, queueDepth int, jobTimeout, drainTimeout time.Duration, maxRequests int, metricsOut string) error {
+	reg := obs.NewRegistry()
+	parallel.SetMetrics(parallel.NewMetrics(reg))
+	defer parallel.SetMetrics(nil)
+
+	srv := server.New(server.Config{
+		Addr:         addr,
+		Workers:      workers,
+		QueueDepth:   queueDepth,
+		JobTimeout:   jobTimeout,
+		DrainTimeout: drainTimeout,
+		MaxRequests:  maxRequests,
+		Registry:     reg,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("simd: listening on http://%s\n", srv.Addr())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Println("simd: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		if err := obs.WriteSnapshotFile(metricsOut, reg, true); err != nil {
+			return err
+		}
+	}
+	fmt.Println("simd: drained, bye")
+	return nil
+}

@@ -43,6 +43,9 @@ func main() {
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	oc.Enable()
+	// An interrupted run still flushes -metrics-out/-trace-out before
+	// exiting with the conventional 128+signal status.
+	stopFlush := oc.FlushOnInterrupt()
 	if oc.Registry != nil {
 		parallel.SetMetrics(parallel.NewMetrics(oc.Registry))
 	}
@@ -61,6 +64,7 @@ func main() {
 	fi := faultInjection{disk: *failDisk, at: *failAt, rebuildMB: *rebuildMB, spare: !*noSpare}
 	err = run(*workload, *requests, *save, *analyze, *config, *exact, *workers, fi,
 		core.Observe{Registry: oc.Registry, Tracer: oc.Tracer})
+	stopFlush() // uninstall before the normal flush so the writers cannot race
 	if err == nil {
 		err = oc.Flush()
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -75,54 +77,111 @@ func RunFigure4StepsStream(p trace.Params, steps []units.RPM, workers int) (Work
 // the fan-in, so both the snapshot and the span stream are byte-identical
 // at any worker count.
 func RunFigure4StepsStreamObs(p trace.Params, steps []units.RPM, workers int, ob Observe) (WorkloadResult, error) {
+	return RunFigure4StepsStreamCtx(context.Background(), p, steps, workers, ob, nil)
+}
+
+// figure4Step runs one RPM cell of the streaming sweep: its own volume, its
+// own engine, its own lazy re-streaming of the seeded trace. The source is
+// gated on ctx, so a cancelled job stops at the next request admission; the
+// gate is one nil-error check per request when ctx never cancels, keeping
+// the un-cancelled path bit-identical to the historic one.
+func figure4Step(ctx context.Context, p trace.Params, rpm units.RPM, ob Observe, tracer *obs.Tracer) (RPMStep, error) {
+	vol, err := p.BuildVolume(rpm)
+	if err != nil {
+		return RPMStep{}, err
+	}
+	src, err := p.Stream(vol.Capacity())
+	if err != nil {
+		return RPMStep{}, err
+	}
+
+	eng := sim.NewEngine()
+	if ob.Registry != nil {
+		vol.Instrument(ob.Registry,
+			"workload", p.Name, "rpm", strconv.Itoa(int(rpm)))
+	}
+	if tracer != nil {
+		eng.SetTracer(tracer)
+	}
+
+	var mean stats.Running
+	p95 := stats.MustP2(0.95)
+	cdf := stats.NewFigure4Counts()
+	var hits, subs int
+	err = vol.RunStream(eng, sim.Gate(ctx, src),
+		sim.SinkFunc[raid.Completion](func(c raid.Completion) {
+			r := c.Response()
+			mean.Add(r)
+			p95.Add(r)
+			cdf.Add(r)
+			hits += c.CacheHits
+			subs += c.SubRequests
+		}))
+	if err != nil {
+		return RPMStep{}, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
+	}
+	// A gated-off source ends the run cleanly with partial statistics;
+	// surface the cancellation instead of a wrong-looking step.
+	if err := ctx.Err(); err != nil {
+		return RPMStep{}, err
+	}
+
+	step := RPMStep{
+		RPM:        rpm,
+		MeanMillis: mean.Mean(),
+		CDF:        cdf.CDF(),
+		P95Millis:  p95.Value(),
+	}
+	if subs > 0 {
+		step.CacheHitFraction = float64(hits) / float64(subs)
+	}
+	return step, nil
+}
+
+// RunFigure4StepsStreamCtx is RunFigure4StepsStreamObs with cooperative
+// cancellation and incremental delivery. ctx is checked at every request
+// admission inside each step and at every step boundary; a cancelled or
+// deadline-expired context aborts the sweep and returns ctx.Err(). When
+// onStep is non-nil, each completed RPMStep is pushed to it in step order
+// as soon as it and every earlier step have finished — so a serving layer
+// can stream partial results to a client while later steps still run,
+// without the delivery order ever depending on the worker count.
+func RunFigure4StepsStreamCtx(ctx context.Context, p trace.Params, steps []units.RPM, workers int, ob Observe, onStep sim.Sink[RPMStep]) (WorkloadResult, error) {
 	res := WorkloadResult{Workload: p}
 	subTracers := make([]*obs.Tracer, len(steps))
-	out, err := parallel.Map(workers, steps, func(i int, rpm units.RPM) (RPMStep, error) {
-		vol, err := p.BuildVolume(rpm)
-		if err != nil {
-			return RPMStep{}, err
-		}
-		src, err := p.Stream(vol.Capacity())
-		if err != nil {
-			return RPMStep{}, err
-		}
 
-		eng := sim.NewEngine()
-		if ob.Registry != nil {
-			vol.Instrument(ob.Registry,
-				"workload", p.Name, "rpm", strconv.Itoa(int(rpm)))
+	// In-order incremental delivery: completed steps park in `ready` until
+	// every earlier index has arrived, then flush in input order. The
+	// mutex serializes pushes, so onStep needs no locking of its own.
+	var (
+		emitMu sync.Mutex
+		ready  = make([]*RPMStep, len(steps))
+		next   int
+	)
+	emit := func(i int, s RPMStep) {
+		if onStep == nil {
+			return
 		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		ready[i] = &s
+		for next < len(ready) && ready[next] != nil {
+			onStep.Push(*ready[next])
+			next++
+		}
+	}
+
+	out, err := parallel.MapCtx(ctx, workers, steps, func(i int, rpm units.RPM) (RPMStep, error) {
+		var tracer *obs.Tracer
 		if ob.Tracer != nil {
-			subTracers[i] = obs.NewTracer(ob.spanLimit())
-			eng.SetTracer(subTracers[i])
+			tracer = obs.NewTracer(ob.spanLimit())
+			subTracers[i] = tracer
 		}
-
-		var mean stats.Running
-		p95 := stats.MustP2(0.95)
-		cdf := stats.NewFigure4Counts()
-		var hits, subs int
-		err = vol.RunStream(eng, src,
-			sim.SinkFunc[raid.Completion](func(c raid.Completion) {
-				r := c.Response()
-				mean.Add(r)
-				p95.Add(r)
-				cdf.Add(r)
-				hits += c.CacheHits
-				subs += c.SubRequests
-			}))
+		step, err := figure4Step(ctx, p, rpm, ob, tracer)
 		if err != nil {
-			return RPMStep{}, fmt.Errorf("core: %s at %v: %w", p.Name, rpm, err)
+			return RPMStep{}, err
 		}
-
-		step := RPMStep{
-			RPM:        rpm,
-			MeanMillis: mean.Mean(),
-			CDF:        cdf.CDF(),
-			P95Millis:  p95.Value(),
-		}
-		if subs > 0 {
-			step.CacheHitFraction = float64(hits) / float64(subs)
-		}
+		emit(i, step)
 		return step, nil
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package disksim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +47,17 @@ func (d *Disk) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Sink
 		return err
 	}
 	return failed
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation: the source is
+// gated on ctx (checked at every admission) and a cancelled run reports
+// ctx.Err() instead of a partial-looking success, matching the other
+// streaming runners' contract for the serving layer.
+func (d *Disk) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[Request], sink sim.Sink[Completion]) error {
+	if err := d.RunStream(eng, sim.Gate(ctx, src), sink); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Simulate services a batch of requests under the configured scheduler and

@@ -1,0 +1,63 @@
+// Cooperative cancellation for the streaming controllers. Each RunStreamCtx
+// gates the request source on a context — the run ends at the next
+// admission once the context is done — and reports ctx.Err() instead of a
+// partial-looking result, which is what the serving layer's job
+// cancellation and per-job deadlines rely on. With a never-cancelled
+// context the wrappers are their RunStream plus one nil-error check per
+// request, so seeded runs stay bit-identical.
+package dtm
+
+import (
+	"context"
+
+	"repro/internal/disksim"
+	"repro/internal/sim"
+)
+
+// RunStreamCtx is Controller.RunStream with cooperative cancellation.
+func (c *Controller) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (Result, error) {
+	res, err := c.RunStream(eng, sim.Gate(ctx, src), sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// RunStreamCtx is SlackRamp.RunStream with cooperative cancellation.
+func (s *SlackRamp) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (RampResult, error) {
+	res, err := s.RunStream(eng, sim.Gate(ctx, src), sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return RampResult{}, err
+	}
+	return res, nil
+}
+
+// RunStreamCtx is DRPM.RunStream with cooperative cancellation.
+func (p *DRPM) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (DRPMResult, error) {
+	res, err := p.RunStream(eng, sim.Gate(ctx, src), sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return DRPMResult{}, err
+	}
+	return res, nil
+}
+
+// RunStreamCtx is Escalation.RunStream with cooperative cancellation.
+func (e *Escalation) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (EscalationResult, error) {
+	res, err := e.RunStream(eng, sim.Gate(ctx, src), sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return EscalationResult{}, err
+	}
+	return res, nil
+}

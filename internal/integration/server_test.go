@@ -1,0 +1,300 @@
+// End-to-end tests for the simulation service: a real simd server on an
+// ephemeral port, driven over HTTP. These pin the PR's acceptance
+// contract: 64 concurrent submissions survive -race, a full queue answers
+// 429 with Retry-After, cancellation is prompt, and a seeded figure4 job's
+// NDJSON body is byte-identical whatever the job's internal worker count.
+package integration
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// startServer brings a server up on an ephemeral port and tears it down
+// with the test.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func postNDJSON(t *testing.T, base, body string) (status int, contentType string, lines [][]byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), lines
+}
+
+// TestServerConcurrentRoadmapJobs slams the service with 64 concurrent
+// small roadmap submissions and requires every one to come back 200 with
+// well-formed NDJSON ending in a summary line.
+func TestServerConcurrentRoadmapJobs(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:    4,
+		QueueDepth: 128, // every submission must be admitted
+		JobTimeout: time.Minute,
+	})
+	base := "http://" + s.Addr()
+
+	const jobs = 64
+	body := `{"type":"roadmap","roadmap":{"first_year":2002,"last_year":2003,"platter_sizes":[2.6]}}`
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			if !bytes.Contains(raw, []byte(`"kind":"summary"`)) {
+				errs <- fmt.Errorf("no summary line in %q", raw)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerBackpressure429 saturates a worker with a slow job, fills the
+// depth-1 queue, and requires the next submission to bounce with 429 and a
+// Retry-After hint.
+func TestServerBackpressure429(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:     1,
+		QueueDepth:  1,
+		JobTimeout:  time.Minute,
+		MaxRequests: 20_000_000,
+	})
+	base := "http://" + s.Addr()
+
+	// Big enough to hold the only worker for seconds even on a fast
+	// machine; the cancellation check below keeps the test from actually
+	// paying that time.
+	slow := `{"type":"dtm","dtm":{"policy":"envelope","requests":20000000}}`
+	submit := func(body string) *http.Response {
+		resp, err := http.Post(base+"/v1/jobs?async=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	running := submit(slow)
+	defer running.Body.Close()
+	var info server.Info
+	if err := json.NewDecoder(running.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job holds the only worker, so the next
+	// submission must sit in the queue rather than start.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur server.Info
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.Status == server.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", cur.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	queued := submit(slow)
+	var queuedInfo server.Info
+	if err := json.NewDecoder(queued.Body).Decode(&queuedInfo); err != nil {
+		t.Fatal(err)
+	}
+	queued.Body.Close()
+	if queued.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", queued.StatusCode)
+	}
+	// Cancel the queued job up front so it never occupies the worker once
+	// the running one is cancelled below.
+	cancelReq, err := http.NewRequest("DELETE", base+"/v1/jobs/"+queuedInfo.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(cancelReq); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	bounced := submit(slow)
+	defer bounced.Body.Close()
+	if bounced.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429", bounced.StatusCode)
+	}
+	if bounced.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Cancellation must be prompt: the running job dies at its next
+	// request admission, not after finishing 100k requests.
+	req, err := http.NewRequest("DELETE", base+"/v1/jobs/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur server.Info
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.Status == server.StatusCancelled {
+			break
+		}
+		if cur.Status == server.StatusDone {
+			t.Fatal("job finished before the cancel landed; raise requests")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel not prompt: still %q after %v", cur.Status, time.Since(start))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerFigure4ByteIdentity is the determinism contract end to end: a
+// seeded figure4 job submitted with workers:1 and workers:4 must return
+// byte-identical NDJSON bodies.
+func TestServerFigure4ByteIdentity(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		JobTimeout: time.Minute,
+	})
+	base := "http://" + s.Addr()
+
+	run := func(workers int) []byte {
+		body := fmt.Sprintf(`{"type":"figure4","workers":%d,"figure4":{"workload":"TPC-C","requests":1500}}`, workers)
+		status, ct, lines := postNDJSON(t, base, body)
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, status)
+		}
+		if ct != "application/x-ndjson" {
+			t.Fatalf("workers=%d: Content-Type %q", workers, ct)
+		}
+		// 4 step lines + 1 workload summary.
+		if len(lines) != 5 {
+			t.Fatalf("workers=%d: %d lines, want 5", workers, len(lines))
+		}
+		return bytes.Join(lines, []byte("\n"))
+	}
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("figure4 NDJSON differs between workers=1 and workers=4:\n--- w1 ---\n%s\n--- w4 ---\n%s", seq, par)
+	}
+}
+
+// TestServerResultReplay runs a job async, waits for completion, and
+// checks the replayed result matches a fresh identical submission.
+func TestServerResultReplay(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		JobTimeout: time.Minute,
+	})
+	base := "http://" + s.Addr()
+	body := `{"type":"roadmap","roadmap":{"first_year":2002,"last_year":2004,"platter_sizes":[2.1]}}`
+
+	resp, err := http.Post(base+"/v1/jobs?async=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info server.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit = %d, want 202", resp.StatusCode)
+	}
+
+	// The result endpoint follows the live run to completion.
+	res, err := http.Get(base + "/v1/jobs/" + info.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	followed, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, _, lines := postNDJSON(t, base, body)
+	if status != http.StatusOK {
+		t.Fatalf("fresh submit = %d", status)
+	}
+	fresh := append(bytes.Join(lines, []byte("\n")), '\n')
+	if !bytes.Equal(bytes.TrimRight(followed, "\n"), bytes.TrimRight(fresh, "\n")) {
+		t.Errorf("replayed result differs from fresh run:\n--- replay ---\n%s\n--- fresh ---\n%s", followed, fresh)
+	}
+}

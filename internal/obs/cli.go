@@ -1,6 +1,12 @@
 package obs
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
 
 // CLI is the -metrics-out/-trace-out flag wiring shared by the commands:
 // RegisterFlags before flag.Parse, Enable after it, Flush once the run
@@ -37,6 +43,38 @@ func (c *CLI) Enable() {
 
 // Enabled reports whether any output was requested.
 func (c *CLI) Enabled() bool { return c.Registry != nil || c.Tracer != nil }
+
+// FlushOnInterrupt installs a SIGINT/SIGTERM handler that writes the
+// requested -metrics-out/-trace-out files before exiting with the
+// conventional 128+signal status, so an interrupted run keeps whatever the
+// registry and tracer had accumulated instead of losing the files entirely.
+// The registry and tracer are concurrency-safe, so flushing mid-run is a
+// consistent (if partial) snapshot. The returned stop function uninstalls
+// the handler; call it before the normal end-of-run Flush so the two
+// writers cannot race on the same paths.
+func (c *CLI) FlushOnInterrupt() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			if err := c.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "flush on signal:", err)
+			}
+			code := 130 // 128 + SIGINT
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
 
 // Flush writes the requested output files.
 func (c *CLI) Flush() error {

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseCLI runs RegisterFlags/Parse/Enable over args as a command would.
+func parseCLI(t *testing.T, args ...string) *CLI {
+	t.Helper()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	c.Enable()
+	return &c
+}
+
+func TestCLIDefaultsDisabled(t *testing.T) {
+	c := parseCLI(t)
+	if c.MetricsOut != "" || c.TraceOut != "" || c.Volatile {
+		t.Fatalf("defaults: %+v, want empty paths and volatile off", c)
+	}
+	if c.Enabled() || c.Registry != nil || c.Tracer != nil {
+		t.Fatal("no flags should leave every sink nil (the zero-cost path)")
+	}
+	// Flush with nothing enabled is a no-op, not an error.
+	if err := c.Flush(); err != nil {
+		t.Fatalf("disabled flush: %v", err)
+	}
+}
+
+func TestCLIMetricsOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	c := parseCLI(t, "-metrics-out", path)
+	if !c.Enabled() || c.Registry == nil {
+		t.Fatal("-metrics-out should enable the registry")
+	}
+	if c.Tracer != nil {
+		t.Fatal("-metrics-out alone should not enable the tracer")
+	}
+	c.Registry.Counter("x_total").Inc()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "x_total") {
+		t.Fatalf("snapshot %q missing series", b)
+	}
+}
+
+func TestCLITraceOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.ndjson")
+	c := parseCLI(t, "-trace-out", path)
+	if c.Tracer == nil || c.Registry != nil {
+		t.Fatalf("-trace-out should enable only the tracer: %+v", c)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}
+
+// TestCLIVolatileFlag pins that -metrics-volatile switches the snapshot
+// between the stable-only and full series sets.
+func TestCLIVolatileFlag(t *testing.T) {
+	for _, volatile := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "m.ndjson")
+		args := []string{"-metrics-out", path}
+		if volatile {
+			args = append(args, "-metrics-volatile")
+		}
+		c := parseCLI(t, args...)
+		if c.Volatile != volatile {
+			t.Fatalf("volatile flag = %v, want %v", c.Volatile, volatile)
+		}
+		c.Registry.Counter("stable_total").Inc()
+		c.Registry.VolatileCounter("volatile_total").Inc()
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Contains(string(b), "volatile_total"); got != volatile {
+			t.Fatalf("volatile=%v: snapshot contains volatile series = %v", volatile, got)
+		}
+	}
+}
+
+func TestCLIBadPathErrors(t *testing.T) {
+	c := parseCLI(t, "-metrics-out", filepath.Join(t.TempDir(), "no", "such", "dir", "m.ndjson"))
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush into a missing directory should fail")
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "net/http"
+
+// Exporter media types. Prometheus scrapers negotiate on the text-format
+// version suffix; the NDJSON type matches the snapshot files the commands
+// write, so `curl | cmd/obsdump` round-trips.
+const (
+	ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeNDJSON     = "application/x-ndjson"
+)
+
+// Handler serves the registry's snapshot over HTTP — the /metrics endpoint
+// of the serving layer. GET (or HEAD) returns the Prometheus text format by
+// default, or the NDJSON snapshot with ?format=ndjson. Volatile series are
+// included by default (a live scrape wants queue depths and latencies);
+// ?volatile=0 restricts the response to the deterministic set the golden
+// snapshots pin. A nil registry serves an empty document of the requested
+// type, so wiring the handler up never needs a nil check.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		ms := r.Snapshot()
+		if req.URL.Query().Get("volatile") == "0" {
+			ms = Stable(ms)
+		}
+		var err error
+		if req.URL.Query().Get("format") == "ndjson" {
+			w.Header().Set("Content-Type", ContentTypeNDJSON)
+			if req.Method == http.MethodHead {
+				return
+			}
+			err = WriteNDJSON(w, ms)
+		} else {
+			w.Header().Set("Content-Type", ContentTypePrometheus)
+			if req.Method == http.MethodHead {
+				return
+			}
+			err = WritePrometheus(w, ms)
+		}
+		// Headers are already out; a mid-body write error just means the
+		// scraper went away, and there is nothing useful left to send.
+		_ = err
+	})
+}

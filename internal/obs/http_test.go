@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get exercises Handler with one request and returns the recorder.
+func get(r *Registry, method, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+func TestHandlerPrometheusContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Inc()
+
+	rec := get(r, "GET", "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	ct := rec.Header().Get("Content-Type")
+	if ct != ContentTypePrometheus {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentTypePrometheus)
+	}
+	// Scrapers key on the version suffix specifically.
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q missing text-format version", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "reqs_total") {
+		t.Fatalf("body missing series: %q", rec.Body.String())
+	}
+}
+
+func TestHandlerNDJSONContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").SetInt(3)
+
+	rec := get(r, "GET", "/metrics?format=ndjson")
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypeNDJSON {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentTypeNDJSON)
+	}
+	if !strings.Contains(rec.Body.String(), `"name":"depth"`) {
+		t.Fatalf("body missing series: %q", rec.Body.String())
+	}
+}
+
+func TestHandlerVolatileFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stable_total").Inc()
+	r.VolatileCounter("volatile_total").Inc()
+
+	full := get(r, "GET", "/metrics").Body.String()
+	if !strings.Contains(full, "volatile_total") || !strings.Contains(full, "stable_total") {
+		t.Fatalf("default scrape should include both series: %q", full)
+	}
+	stable := get(r, "GET", "/metrics?volatile=0").Body.String()
+	if strings.Contains(stable, "volatile_total") {
+		t.Fatalf("?volatile=0 should drop volatile series: %q", stable)
+	}
+	if !strings.Contains(stable, "stable_total") {
+		t.Fatalf("?volatile=0 should keep stable series: %q", stable)
+	}
+}
+
+func TestHandlerMethodsAndNilRegistry(t *testing.T) {
+	rec := get(nil, "POST", "/metrics")
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("Allow = %q, want GET listed", allow)
+	}
+
+	// HEAD sets the type but sends no body.
+	rec = get(nil, "HEAD", "/metrics")
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD = %d with %d body bytes, want 200 and empty", rec.Code, rec.Body.Len())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypePrometheus {
+		t.Fatalf("HEAD Content-Type = %q", ct)
+	}
+
+	// A nil registry serves an empty document, not a panic or error.
+	rec = get(nil, "GET", "/metrics")
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry GET = %d with body %q, want 200 empty", rec.Code, rec.Body.String())
+	}
+}

@@ -310,3 +310,13 @@ func (r *Registry) VolatileGauge(name string, labels ...string) *Gauge {
 	}
 	return r.register(name, gaugeKind, true, labels, nil).g
 }
+
+// VolatileHistogram is VolatileCounter for histograms — wall-clock latency
+// series (the serving layer's per-endpoint timings) are host-dependent, so
+// they never enter the deterministic snapshot.
+func (r *Registry) VolatileHistogram(name string, edges []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, histogramKind, true, labels, edges).h
+}

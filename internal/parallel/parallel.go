@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -168,6 +169,35 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no new
+// items start (in-flight items finish, exactly the first-error discipline)
+// and MapCtx returns ctx.Err() with a nil result slice. It is the serving
+// layer's per-job cancellation hook — a DELETE'd or deadline-expired job
+// stops claiming sweep cells at the next item boundary. With a
+// never-cancelled context the call is Map plus one nil-error check per
+// item, so results stay bit-identical at every worker count.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out, err := Map(workers, items, func(i int, item T) (R, error) {
+		if cerr := ctx.Err(); cerr != nil {
+			var zero R
+			return zero, cerr
+		}
+		return fn(i, item)
+	})
+	if err == nil {
+		// Every item finished; a cancellation racing the tail changes
+		// nothing, the results are complete and valid.
+		return out, nil
+	}
+	// Map surfaces the lowest-indexed failure, which under cancellation is
+	// whichever item's ctx check fired first; normalize to ctx.Err() so
+	// callers distinguish "cancelled" from a genuine item error.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return nil, err
 }
 
 // Grid evaluates fn over the full cross product rows x cols and returns the

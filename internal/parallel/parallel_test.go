@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -201,5 +203,44 @@ func TestGridEmpty(t *testing.T) {
 func TestDefaultPositive(t *testing.T) {
 	if Default() < 1 {
 		t.Fatalf("Default() = %d", Default())
+	}
+}
+
+func TestMapCtxComplete(t *testing.T) {
+	out, err := MapCtx(context.Background(), 4, []int{1, 2, 3}, func(i, v int) (int, error) {
+		return v * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 10 || out[2] != 30 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := MapCtx(ctx, 2, make([]int, 100), func(i, v int) (int, error) {
+		once.Do(func() { cancel(); close(started) })
+		<-started
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapCtxItemErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapCtx(context.Background(), 2, []int{1, 2}, func(i, v int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want item error when ctx is live", err)
 	}
 }

@@ -10,6 +10,7 @@
 package raid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -537,6 +538,16 @@ func (s *RecoverySession) RunStream(eng *sim.Engine, src sim.Source[Request], si
 		s.advanceRebuilds(last)
 	}
 	return failed
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation: the source is
+// gated on ctx, so a cancelled context ends the replay at the next request
+// admission and is reported as ctx.Err() instead of a silently-short run.
+func (s *RecoverySession) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[Request], sink sim.Sink[Completion]) error {
+	if err := s.RunStream(eng, sim.Gate(ctx, src), sink); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Run services a workload (sorted by arrival internally) and returns the

@@ -1,6 +1,7 @@
 package raid
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -88,6 +89,17 @@ func (v *Volume) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Si
 		return err
 	}
 	return failed
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation: the source is
+// gated on ctx, so a cancelled context ends the replay at the next request
+// admission, and the cancellation is reported as ctx.Err() rather than a
+// silently-short run. The serving layer's job cancellation rides on this.
+func (v *Volume) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[Request], sink sim.Sink[Completion]) error {
+	if err := v.RunStream(eng, sim.Gate(ctx, src), sink); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Simulate runs a volume-level workload and returns completions sorted by

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+// errResultTooLarge aborts a job whose result stream exceeds the server's
+// per-job byte budget; the budget bounds memory because results are
+// buffered for replay (GET .../result after the fact).
+var errResultTooLarge = errors.New("result exceeds server per-job byte limit")
+
+// resultBuffer accumulates a job's NDJSON lines and lets any number of
+// readers stream them: each reader replays what is already buffered, then
+// follows live appends until the buffer closes. Appends come from exactly
+// one worker goroutine; reads can start before, during, or after the run
+// and all see identical bytes.
+type resultBuffer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	lines    [][]byte
+	bytes    int64
+	maxBytes int64
+	closed   bool
+}
+
+func newResultBuffer(maxBytes int64) *resultBuffer {
+	b := &resultBuffer{maxBytes: maxBytes}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// append adds one line (already newline-terminated) to the buffer and
+// wakes streaming readers.
+func (b *resultBuffer) append(line []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errors.New("result buffer closed")
+	}
+	if b.bytes+int64(len(line)) > b.maxBytes {
+		return errResultTooLarge
+	}
+	b.lines = append(b.lines, line)
+	b.bytes += int64(len(line))
+	b.cond.Broadcast()
+	return nil
+}
+
+// close marks the stream complete and releases all followers.
+func (b *resultBuffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// stats reports the buffered line and byte counts.
+func (b *resultBuffer) stats() (lines int, bytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines), b.bytes
+}
+
+// waitFirst blocks until at least one line is buffered or the buffer is
+// closed, so handlers can pick the HTTP status before committing to a
+// body. It returns false if ctx ends first.
+func (b *resultBuffer) waitFirst(ctx context.Context) bool {
+	defer context.AfterFunc(ctx, b.cond.Broadcast)()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.lines) == 0 && !b.closed && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	return ctx.Err() == nil
+}
+
+// stream writes buffered lines to w as they arrive, flushing after each,
+// until the buffer closes or ctx is done (client gone). It returns the
+// first write error, ctx.Err(), or nil after a complete stream.
+func (b *resultBuffer) stream(ctx context.Context, w http.ResponseWriter) error {
+	// A reader parked in cond.Wait only rechecks ctx when woken; wake it
+	// when the client disconnects.
+	defer context.AfterFunc(ctx, b.cond.Broadcast)()
+	flusher, _ := w.(http.Flusher)
+	next := 0
+	for {
+		b.mu.Lock()
+		for next >= len(b.lines) && !b.closed && ctx.Err() == nil {
+			b.cond.Wait()
+		}
+		batch := b.lines[next:]
+		next = len(b.lines)
+		closed := b.closed
+		b.mu.Unlock()
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, line := range batch {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if closed && next == b.lineCount() {
+			return nil
+		}
+	}
+}
+
+func (b *resultBuffer) lineCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines)
+}

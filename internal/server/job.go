@@ -1,0 +1,410 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Job types accepted by POST /v1/jobs.
+const (
+	TypeRoadmap = "roadmap" // internal/scaling year-by-year sweep
+	TypeFigure4 = "figure4" // internal/core trace-replay RPM sweep
+	TypeDTM     = "dtm"     // internal/dtm closed-loop policy run
+	TypeRAID    = "raid"    // internal/raid degraded-mode / recovery run
+)
+
+// Status is a job's lifecycle state. Transitions only move forward:
+// queued -> running -> {done, failed, cancelled}, or queued -> cancelled.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Spec is the JSON body of POST /v1/jobs: the job type plus exactly one
+// matching parameter block. Unknown fields are rejected at decode time, so
+// a typo'd parameter fails loudly instead of silently running the default.
+type Spec struct {
+	Type string `json:"type"`
+
+	// Workers bounds the job's internal sweep fan-out (the -workers knob
+	// of the CLIs). 0 means sequential: the server's own worker pool is
+	// the concurrency bound, and a job only fans out when asked to.
+	Workers int `json:"workers,omitempty"`
+
+	// TimeoutMS shortens the server's per-job deadline for this job. It
+	// can never extend it: the server's JobTimeout is an admission-control
+	// ceiling, not a default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	Roadmap *RoadmapSpec `json:"roadmap,omitempty"`
+	Figure4 *Figure4Spec `json:"figure4,omitempty"`
+	DTM     *DTMSpec     `json:"dtm,omitempty"`
+	RAID    *RAIDSpec    `json:"raid,omitempty"`
+}
+
+// RoadmapSpec parameterizes a roadmap job (internal/scaling.Roadmap).
+// Zero values take the paper's defaults: 2002..2012, sizes 2.6/2.1/1.6,
+// one platter.
+type RoadmapSpec struct {
+	FirstYear    int       `json:"first_year,omitempty"`
+	LastYear     int       `json:"last_year,omitempty"`
+	PlatterSizes []float64 `json:"platter_sizes,omitempty"`
+	Platters     int       `json:"platters,omitempty"`
+	VCMOff       bool      `json:"vcm_off,omitempty"`
+	AmbientDelta float64   `json:"ambient_delta_c,omitempty"`
+}
+
+// Figure4Spec parameterizes a trace-replay RPM sweep. Workload is one of
+// the paper's five names, or "all" for the full Figure 4 grid.
+type Figure4Spec struct {
+	Workload string `json:"workload"`
+
+	// Requests scales each workload (0 = the service default, small
+	// enough for an interactive response).
+	Requests int `json:"requests,omitempty"`
+
+	// RPMSteps overrides the paper's baseline+3x5000 sweep.
+	RPMSteps []float64 `json:"rpm_steps,omitempty"`
+}
+
+// DTMSpec parameterizes a closed-loop policy run on the 2005 reference
+// drive, the configuration cmd/dtm's policy comparison uses.
+type DTMSpec struct {
+	// Policy is one of "envelope", "watermark", "slack-ramp", "drpm" or
+	// "escalation".
+	Policy string `json:"policy"`
+
+	Requests int     `json:"requests,omitempty"` // 0 = 30000
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+	Seed     int64   `json:"seed,omitempty"` // 0 = 11, the comparison seed
+
+	// SampleEvery emits a progress line every N completions (0 = only the
+	// final summary). Samples are on the sim clock, so they are as
+	// deterministic as the run itself.
+	SampleEvery int `json:"sample_every,omitempty"`
+}
+
+// RAIDSpec parameterizes a degraded-mode recovery run: one of the paper's
+// workload arrays with a member disk failed mid-replay.
+type RAIDSpec struct {
+	Workload string `json:"workload"`
+	Requests int    `json:"requests,omitempty"` // 0 = 2000
+
+	FailDisk        int     `json:"fail_disk"`
+	FailAtMS        int64   `json:"fail_at_ms,omitempty"` // 0 = 5000
+	Spare           bool    `json:"spare,omitempty"`
+	RebuildMBPerSec float64 `json:"rebuild_mb_per_sec,omitempty"`
+	SampleEvery     int     `json:"sample_every,omitempty"`
+}
+
+// dtmPolicies is the accepted DTMSpec.Policy set.
+var dtmPolicies = map[string]bool{
+	"envelope": true, "watermark": true, "slack-ramp": true,
+	"drpm": true, "escalation": true,
+}
+
+// validate is the admission-control gate: everything a runner would choke
+// on — and everything that would let one request monopolize the host — is
+// rejected here with a client-attributable message.
+func (s Spec) validate(cfg Config) error {
+	blocks := 0
+	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil} {
+		if set {
+			blocks++
+		}
+	}
+	if s.Workers < 0 || s.Workers > maxJobWorkers {
+		return fmt.Errorf("workers %d outside [0,%d]", s.Workers, maxJobWorkers)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d is negative", s.TimeoutMS)
+	}
+	switch s.Type {
+	case TypeRoadmap:
+		if blocks > 1 || (blocks == 1 && s.Roadmap == nil) {
+			return fmt.Errorf("type %q takes only a %q block", s.Type, s.Type)
+		}
+		return s.Roadmap.validate()
+	case TypeFigure4:
+		if s.Figure4 == nil || blocks != 1 {
+			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
+		}
+		return s.Figure4.validate(cfg)
+	case TypeDTM:
+		if s.DTM == nil || blocks != 1 {
+			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
+		}
+		return s.DTM.validate(cfg)
+	case TypeRAID:
+		if s.RAID == nil || blocks != 1 {
+			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
+		}
+		return s.RAID.validate(cfg)
+	case "":
+		return fmt.Errorf("missing job type")
+	default:
+		return fmt.Errorf("unknown job type %q", s.Type)
+	}
+}
+
+func (r *RoadmapSpec) validate() error {
+	if r == nil {
+		return nil // all defaults
+	}
+	first, last := r.FirstYear, r.LastYear
+	if first == 0 {
+		first = 2002
+	}
+	if last == 0 {
+		last = 2012
+	}
+	switch {
+	case first < 1990 || first > 2100:
+		return fmt.Errorf("first_year %d outside [1990,2100]", first)
+	case last < first:
+		return fmt.Errorf("year range [%d,%d] inverted", first, last)
+	case last-first > 50:
+		return fmt.Errorf("year range [%d,%d] longer than 50 years", first, last)
+	case r.Platters < 0 || r.Platters > 4:
+		return fmt.Errorf("platters %d outside [1,4]", r.Platters)
+	case len(r.PlatterSizes) > 8:
+		return fmt.Errorf("%d platter sizes, want at most 8", len(r.PlatterSizes))
+	}
+	for _, sz := range r.PlatterSizes {
+		if sz < 0.8 || sz > 5.25 {
+			return fmt.Errorf("platter size %g\" outside [0.8,5.25]", sz)
+		}
+	}
+	return nil
+}
+
+// lookupWorkloads resolves a workload name ("all" = the full five) against
+// the built-in set.
+func lookupWorkloads(name string) ([]trace.Params, error) {
+	if name == "all" {
+		return trace.Workloads, nil
+	}
+	w, err := trace.WorkloadByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []trace.Params{w}, nil
+}
+
+func (f *Figure4Spec) validate(cfg Config) error {
+	if _, err := lookupWorkloads(f.Workload); err != nil {
+		return err
+	}
+	if f.Requests < 0 || f.Requests > cfg.MaxRequests {
+		return fmt.Errorf("requests %d outside [0,%d]", f.Requests, cfg.MaxRequests)
+	}
+	if len(f.RPMSteps) > 8 {
+		return fmt.Errorf("%d rpm steps, want at most 8", len(f.RPMSteps))
+	}
+	for _, rpm := range f.RPMSteps {
+		if rpm < 1000 || rpm > 200000 {
+			return fmt.Errorf("rpm step %g outside [1000,200000]", rpm)
+		}
+	}
+	return nil
+}
+
+func (d *DTMSpec) validate(cfg Config) error {
+	if !dtmPolicies[d.Policy] {
+		return fmt.Errorf("unknown dtm policy %q", d.Policy)
+	}
+	switch {
+	case d.Requests < 0 || d.Requests > cfg.MaxRequests:
+		return fmt.Errorf("requests %d outside [0,%d]", d.Requests, cfg.MaxRequests)
+	case d.RatePerS < 0 || d.RatePerS > 1e6:
+		return fmt.Errorf("rate_per_s %g outside [0,1e6]", d.RatePerS)
+	case d.SampleEvery < 0:
+		return fmt.Errorf("sample_every %d is negative", d.SampleEvery)
+	}
+	return nil
+}
+
+func (r *RAIDSpec) validate(cfg Config) error {
+	ws, err := lookupWorkloads(r.Workload)
+	if err != nil {
+		return err
+	}
+	if r.Workload == "all" {
+		return fmt.Errorf("raid jobs run one workload, not %q", r.Workload)
+	}
+	switch {
+	case r.Requests < 0 || r.Requests > cfg.MaxRequests:
+		return fmt.Errorf("requests %d outside [0,%d]", r.Requests, cfg.MaxRequests)
+	case r.FailDisk < 0 || r.FailDisk >= ws[0].Disks:
+		return fmt.Errorf("fail_disk %d outside [0,%d) for workload %s", r.FailDisk, ws[0].Disks, ws[0].Name)
+	case r.FailAtMS < 0:
+		return fmt.Errorf("fail_at_ms %d is negative", r.FailAtMS)
+	case r.RebuildMBPerSec < 0 || r.RebuildMBPerSec > 10000:
+		return fmt.Errorf("rebuild_mb_per_sec %g outside [0,10000]", r.RebuildMBPerSec)
+	case r.SampleEvery < 0:
+		return fmt.Errorf("sample_every %d is negative", r.SampleEvery)
+	}
+	return nil
+}
+
+// workers resolves the job's internal fan-out (default sequential).
+func (s Spec) workers() int {
+	if s.Workers <= 0 {
+		return 1
+	}
+	return s.Workers
+}
+
+// Info is a job's externally-visible state, the body of GET /v1/jobs/{id}.
+// Wall-clock timestamps live here, never in result bodies — result bytes
+// must depend only on the spec.
+type Info struct {
+	ID          string     `json:"id"`
+	Type        string     `json:"type"`
+	Status      Status     `json:"status"`
+	Error       string     `json:"error,omitempty"`
+	CreatedAt   time.Time  `json:"created_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ResultLines int        `json:"result_lines"`
+	ResultBytes int64      `json:"result_bytes"`
+}
+
+// job is one tracked submission: the spec, the lifecycle state machine,
+// and the buffered result stream.
+type job struct {
+	id      string
+	spec    Spec
+	created time.Time
+	buf     *resultBuffer
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	started  time.Time
+	finished time.Time
+	cancel   func() // set while running; cancels the job's context
+}
+
+// errorLine is the in-band terminal record appended when a job fails or is
+// cancelled, so a client already consuming the 200 stream still learns the
+// outcome. Successful jobs never emit one, keeping their bodies spec-pure.
+type errorLine struct {
+	Kind  string `json:"kind"` // "error"
+	Error string `json:"error"`
+}
+
+// emit encodes one result line into the job's buffer.
+func (j *job) emit(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return j.buf.append(append(line, '\n'))
+}
+
+// markRunning moves queued -> running; false means the job was cancelled
+// while queued and must not run.
+func (j *job) markRunning(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state, appends the in-band error line for
+// unsuccessful outcomes, and closes the result buffer. It is a no-op if
+// the job is already terminal. With from != "", the transition only
+// happens from that exact state — the atomic guard requestCancel needs so
+// it can never cancel-mark a job a worker just started.
+func (j *job) finish(from, st Status, err error) bool {
+	j.mu.Lock()
+	if j.status.terminal() || (from != "" && j.status != from) {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = st
+	j.finished = time.Now()
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.mu.Unlock()
+	if st == StatusFailed || st == StatusCancelled {
+		msg := j.err
+		if msg == "" {
+			msg = string(st)
+		}
+		_ = j.emit(errorLine{Kind: "error", Error: msg})
+	}
+	j.buf.close()
+	return true
+}
+
+// requestCancel cancels the job: a queued job terminates immediately; a
+// running one has its context cancelled and terminates at the runner's
+// next admission check. It reports whether this call itself finished the
+// job (queued -> cancelled), so the caller can record the terminal metric
+// exactly once — a running job's metric is recorded by the worker instead.
+func (j *job) requestCancel() bool {
+	if j.finish(StatusQueued, StatusCancelled, fmt.Errorf("job cancelled")) {
+		return true
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return false
+}
+
+// snapshot returns the current status and error string.
+func (j *job) snapshot() (Status, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.err
+}
+
+// info renders the job for the status endpoints.
+func (j *job) info() Info {
+	lines, bytes := j.buf.stats()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	in := Info{
+		ID:          j.id,
+		Type:        j.spec.Type,
+		Status:      j.status,
+		Error:       j.err,
+		CreatedAt:   j.created,
+		ResultLines: lines,
+		ResultBytes: bytes,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		in.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		in.FinishedAt = &t
+	}
+	return in
+}

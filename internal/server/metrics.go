@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// latencyEdgesMS buckets per-endpoint HTTP latency; the top bucket is wide
+// because sync job submissions hold the request for the whole run.
+var latencyEdgesMS = []float64{1, 5, 25, 100, 500, 2500, 10000, 60000}
+
+// metrics is the server's own instrument set. All series are volatile:
+// queue depth and latencies describe this process, not the simulated
+// machine, so they are excluded from golden-artifact comparisons by the
+// exporters' Stable filter.
+type metrics struct {
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+	rejected   *obs.Counter
+	jobsTotal  map[Status]*obs.Counter
+	inflightN  atomic.Int64
+	queueN     atomic.Int64
+
+	reg *obs.Registry
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		queueDepth: reg.VolatileGauge("simd_queue_depth"),
+		inflight:   reg.VolatileGauge("simd_jobs_inflight"),
+		rejected:   reg.VolatileCounter("simd_jobs_rejected_total"),
+		jobsTotal:  make(map[Status]*obs.Counter),
+		reg:        reg,
+	}
+	// Pre-register every terminal status so the series exist (at zero)
+	// from the first scrape.
+	for _, st := range []Status{StatusDone, StatusFailed, StatusCancelled} {
+		m.jobsTotal[st] = reg.VolatileCounter("simd_jobs_total", "status", string(st))
+	}
+	return m
+}
+
+// obs.Gauge has Set, not Add; track the level in an atomic and mirror it.
+func (m *metrics) queueDelta(d int64)    { m.queueDepth.SetInt(m.queueN.Add(d)) }
+func (m *metrics) inflightDelta(d int64) { m.inflight.SetInt(m.inflightN.Add(d)) }
+
+func (m *metrics) jobFinished(st Status) {
+	if c, ok := m.jobsTotal[st]; ok {
+		c.Inc()
+	}
+}
+
+// httpMetrics instruments one endpoint pattern.
+type httpMetrics struct {
+	latency  *obs.Histogram
+	requests func(code string) *obs.Counter
+}
+
+func (m *metrics) endpoint(name string) httpMetrics {
+	return httpMetrics{
+		latency: m.reg.VolatileHistogram("simd_http_latency_ms", latencyEdgesMS, "endpoint", name),
+		requests: func(code string) *obs.Counter {
+			return m.reg.VolatileCounter("simd_http_requests_total", "endpoint", name, "code", code)
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// defaultFigure4Requests keeps an unscaled figure4 job interactive; the
+// full paper-scale replay is what the CLIs are for.
+const defaultFigure4Requests = 2000
+
+// figure4StepLine is one RPM cell of the sweep, kind "step". Steps stream
+// as they complete, in sweep order at any worker count.
+type figure4StepLine struct {
+	Kind             string  `json:"kind"`
+	Workload         string  `json:"workload"`
+	RPM              float64 `json:"rpm"`
+	MeanMillis       float64 `json:"mean_ms"`
+	P95Millis        float64 `json:"p95_ms"`
+	CacheHitFraction float64 `json:"cache_hit_fraction"`
+}
+
+// figure4SummaryLine closes one workload's sweep, kind "workload":
+// the relative mean-response improvement of each faster step.
+type figure4SummaryLine struct {
+	Kind         string    `json:"kind"`
+	Workload     string    `json:"workload"`
+	BaselineRPM  float64   `json:"baseline_rpm"`
+	Steps        int       `json:"steps"`
+	Improvements []float64 `json:"improvements"`
+}
+
+// runFigure4 replays one workload (or all five) across the RPM sweep,
+// streaming each completed step.
+func runFigure4(ctx context.Context, spec Spec, emit emitFunc) error {
+	f := spec.Figure4
+	workloads, err := lookupWorkloads(f.Workload)
+	if err != nil {
+		return err
+	}
+	n := f.Requests
+	if n == 0 {
+		n = defaultFigure4Requests
+	}
+	// Workloads run sequentially — results interleaved across workloads
+	// would force clients to demultiplex; spec.workers() fans out the RPM
+	// steps inside each workload instead.
+	for _, w := range workloads {
+		w = w.WithRequests(n)
+		steps := core.Figure4Steps(w.BaselineRPM)
+		if len(f.RPMSteps) > 0 {
+			steps = steps[:0]
+			for _, rpm := range f.RPMSteps {
+				steps = append(steps, units.RPM(rpm))
+			}
+		}
+		var emitErr error
+		onStep := sim.SinkFunc[core.RPMStep](func(s core.RPMStep) {
+			if emitErr != nil {
+				return
+			}
+			emitErr = emit(figure4StepLine{
+				Kind:             "step",
+				Workload:         w.Name,
+				RPM:              float64(s.RPM),
+				MeanMillis:       s.MeanMillis,
+				P95Millis:        s.P95Millis,
+				CacheHitFraction: s.CacheHitFraction,
+			})
+		})
+		res, err := core.RunFigure4StepsStreamCtx(ctx, w, steps, spec.workers(), core.Observe{}, onStep)
+		if err != nil {
+			return err
+		}
+		if emitErr != nil {
+			return emitErr
+		}
+		sum := figure4SummaryLine{
+			Kind:         "workload",
+			Workload:     w.Name,
+			BaselineRPM:  float64(w.BaselineRPM),
+			Steps:        len(res.Steps),
+			Improvements: res.Improvements(),
+		}
+		if err := emit(sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package server turns the simulator into a long-running service: HTTP/JSON
+// job submission for roadmap sweeps, Figure-4 trace replays, DTM policy runs
+// and RAID recovery scenarios, executed on a bounded worker pool with
+// admission control, NDJSON result streaming, live metrics and graceful
+// drain. Everything is stdlib net/http; the simulation work is delegated to
+// the internal packages the CLIs already use, through their ctx-aware
+// streaming entry points, so a seeded job's result bytes depend only on its
+// spec — never on worker count, timing, or who else is on the queue.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxJobWorkers caps a single job's internal fan-out.
+const maxJobWorkers = 32
+
+// Config sizes the service. Zero values take the defaults noted per field.
+type Config struct {
+	Addr string // listen address, default 127.0.0.1:8080; ":0" picks a port
+
+	Workers    int // concurrent jobs, default 2
+	QueueDepth int // queued (not yet running) jobs before 429, default 16
+
+	JobTimeout   time.Duration // per-job ceiling, default 2m
+	DrainTimeout time.Duration // graceful-drain budget on Shutdown, default 30s
+	RetryAfter   time.Duration // Retry-After hint on 429/503, default 1s
+
+	MaxRequests    int   // per-job trace-length cap, default 200000
+	MaxResultBytes int64 // per-job buffered result cap, default 16 MiB
+	MaxJobs        int   // retained job records before oldest-terminal eviction, default 256
+
+	Registry *obs.Registry // metrics destination; nil gets a private registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRequests <= 0 {
+		c.MaxRequests = 200000
+	}
+	if c.MaxResultBytes <= 0 {
+		c.MaxResultBytes = 16 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the simulation service: a job registry, a bounded queue feeding
+// a fixed worker pool, and the HTTP surface in handlers.go.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	met *metrics
+	mux *http.ServeMux
+
+	// queueMu guards queue sends against close(queue): enqueue and
+	// beginDrain take it, so a send can never race the close.
+	queueMu  sync.Mutex
+	queue    chan *job
+	draining bool
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for listing and eviction
+	nextID int
+
+	// runCtx is the ancestor of every job context; runCancel hard-stops
+	// in-flight jobs when the drain deadline passes.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	workerWG  sync.WaitGroup
+
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// New builds a Server; Start or Run actually serves.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.startWorkers()
+	return s
+}
+
+// newServer builds everything but the worker pool. Tests use it directly
+// so the queue fills deterministically with nothing draining it.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		met:   newMetrics(cfg.Registry),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s
+}
+
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler exposes the routed mux, mainly for httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the configured address and serves in the background. After it
+// returns, Addr reports the bound address (useful with ":0").
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails this way if the listener breaks under us;
+			// jobs already accepted still drain via Shutdown.
+			fmt.Printf("simd: serve error: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return s.cfg.Addr
+	}
+	return s.listener.Addr().String()
+}
+
+// Run serves until ctx is done, then drains gracefully.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(drainCtx)
+}
+
+// Shutdown drains the server: new submissions get 503, queued and running
+// jobs get until ctx expires to finish, then are cancelled. The HTTP
+// listener closes last so status endpoints and /metrics answer throughout
+// the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline passed: hard-cancel in-flight jobs and wait for the
+		// workers to observe it. The runners check their context at every
+		// request admission, so this is prompt.
+		s.runCancel()
+		<-done
+	}
+	s.runCancel()
+
+	httpCtx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		httpCtx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	return s.httpSrv.Shutdown(httpCtx)
+}
+
+// beginDrain flips the server to draining and closes the queue so workers
+// exit once it is empty. Queued-but-never-run jobs are finished by the
+// worker loop (or by Shutdown's cancel path).
+func (s *Server) beginDrain() {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.queue)
+}
+
+// enqueue admits a job or reports why not: errDraining during shutdown,
+// errQueueFull when the bounded queue is at capacity.
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("job queue is full")
+)
+
+func (s *Server) enqueue(j *job) error {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.met.queueDelta(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// register tracks a new job record, evicting the oldest terminal record if
+// the registry is full.
+func (s *Server) register(spec Spec) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		spec:    spec,
+		created: time.Now(),
+		status:  StatusQueued,
+		buf:     newResultBuffer(s.cfg.MaxResultBytes),
+	}
+	if len(s.order) >= s.cfg.MaxJobs {
+		for i, id := range s.order {
+			if st, _ := s.jobs[id].snapshot(); st.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) list() []Info {
+	s.jobsMu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.jobsMu.Unlock()
+	infos := make([]Info, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.info()
+	}
+	return infos
+}
+
+// worker drains the queue until beginDrain closes it.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.met.queueDelta(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its deadline and records the outcome.
+func (s *Server) runJob(j *job) {
+	timeout := s.cfg.JobTimeout
+	if ms := j.spec.TimeoutMS; ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, timeout)
+	defer cancel()
+	if !j.markRunning(cancel) {
+		// Cancelled while queued; requestCancel already finished it.
+		return
+	}
+	s.met.inflightDelta(1)
+	err := s.dispatch(ctx, j)
+	s.met.inflightDelta(-1)
+
+	var st Status
+	switch {
+	case err == nil:
+		st = StatusDone
+	case errors.Is(err, context.Canceled):
+		st = StatusCancelled
+		err = errors.New("job cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		st = StatusFailed
+		err = fmt.Errorf("job exceeded deadline %v", timeout)
+	default:
+		st = StatusFailed
+	}
+	j.finish(StatusRunning, st, err)
+	s.met.jobFinished(st)
+}
+
+// dispatch routes a job to its runner. The emit closure funnels every
+// result line through the job's buffer; a full buffer fails the job.
+func (s *Server) dispatch(ctx context.Context, j *job) error {
+	switch j.spec.Type {
+	case TypeRoadmap:
+		return runRoadmap(ctx, j.spec, j.emit)
+	case TypeFigure4:
+		return runFigure4(ctx, j.spec, j.emit)
+	case TypeDTM:
+		return runDTM(ctx, j.spec, j.emit)
+	case TypeRAID:
+		return runRAID(ctx, j.spec, j.emit)
+	default:
+		return fmt.Errorf("unknown job type %q", j.spec.Type)
+	}
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testConfig keeps unit-test servers tiny and fast.
+func testConfig() Config {
+	return Config{
+		Workers:     2,
+		QueueDepth:  4,
+		JobTimeout:  30 * time.Second,
+		MaxRequests: 100000,
+		Registry:    obs.NewRegistry(),
+	}
+}
+
+func smallRoadmapSpec() string {
+	return `{"type":"roadmap","roadmap":{"first_year":2002,"last_year":2003,"platter_sizes":[2.6]}}`
+}
+
+func postJob(t *testing.T, h http.Handler, body string, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs"+query, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestSpecValidation(t *testing.T) {
+	cfg := testConfig().withDefaults()
+	bad := []Spec{
+		{},
+		{Type: "nope"},
+		{Type: TypeRoadmap, Roadmap: &RoadmapSpec{FirstYear: 2010, LastYear: 2005}},
+		{Type: TypeRoadmap, Roadmap: &RoadmapSpec{PlatterSizes: []float64{9.9}}},
+		{Type: TypeRoadmap, Roadmap: &RoadmapSpec{}, DTM: &DTMSpec{Policy: "drpm"}},
+		{Type: TypeFigure4},
+		{Type: TypeFigure4, Figure4: &Figure4Spec{Workload: "nope"}},
+		{Type: TypeFigure4, Figure4: &Figure4Spec{Workload: "TPC-C", Requests: cfg.MaxRequests + 1}},
+		{Type: TypeDTM, DTM: &DTMSpec{Policy: "warmwater"}},
+		{Type: TypeRAID, RAID: &RAIDSpec{Workload: "all"}},
+		{Type: TypeRAID, RAID: &RAIDSpec{Workload: "TPC-C", FailDisk: 99}},
+		{Type: TypeRoadmap, Workers: maxJobWorkers + 1, Roadmap: &RoadmapSpec{}},
+		{Type: TypeRoadmap, TimeoutMS: -1, Roadmap: &RoadmapSpec{}},
+	}
+	for i, s := range bad {
+		if err := s.validate(cfg); err == nil {
+			t.Errorf("spec %d: expected validation error, got nil", i)
+		}
+	}
+	good := []Spec{
+		{Type: TypeRoadmap},
+		{Type: TypeRoadmap, Roadmap: &RoadmapSpec{FirstYear: 2002, LastYear: 2004}},
+		{Type: TypeFigure4, Figure4: &Figure4Spec{Workload: "all"}},
+		{Type: TypeDTM, DTM: &DTMSpec{Policy: "envelope"}},
+		{Type: TypeRAID, RAID: &RAIDSpec{Workload: "TPC-C"}},
+	}
+	for i, s := range good {
+		if err := s.validate(cfg); err != nil {
+			t.Errorf("spec %d: unexpected validation error: %v", i, err)
+		}
+	}
+}
+
+func TestSyncJobStreamsNDJSON(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+
+	w := postJob(t, s.Handler(), smallRoadmapSpec(), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != obs.ContentTypeNDJSON {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentTypeNDJSON)
+	}
+	if w.Header().Get("X-Job-ID") == "" {
+		t.Fatal("missing X-Job-ID header")
+	}
+	lines := 0
+	sawSummary := false
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if m["kind"] == "summary" {
+			sawSummary = true
+		}
+		if m["kind"] == "error" {
+			t.Fatalf("unexpected error line: %s", sc.Text())
+		}
+	}
+	// 2 years x 1 size = 2 points + summary.
+	if lines != 3 || !sawSummary {
+		t.Fatalf("got %d lines (summary=%v), want 3 with summary", lines, sawSummary)
+	}
+}
+
+func TestBadSpecRejected(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+
+	for _, body := range []string{
+		`{`,
+		`{"type":"roadmap","bogus_field":1}`,
+		`{"type":"figure4","figure4":{"workload":"nope"}}`,
+	} {
+		w := postJob(t, s.Handler(), body, "")
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+// TestQueueFull429 fills the queue of a server whose workers were never
+// started, so admission control is exercised deterministically.
+func TestQueueFull429(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	s := newServer(cfg) // no workers: nothing drains the queue
+
+	for i := 0; i < cfg.QueueDepth; i++ {
+		w := postJob(t, s.Handler(), smallRoadmapSpec(), "?async=1")
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("job %d: status = %d, want 202", i, w.Code)
+		}
+	}
+	w := postJob(t, s.Handler(), smallRoadmapSpec(), "?async=1")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if got := s.met.rejected.Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never gets a worker and checks it
+// reports cancelled immediately, with the in-band error line.
+func TestCancelQueuedJob(t *testing.T) {
+	s := newServer(testConfig()) // no workers
+
+	w := postJob(t, s.Handler(), smallRoadmapSpec(), "?async=1")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", w.Code)
+	}
+	var info Info
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("DELETE", "/v1/jobs/"+info.ID, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", rec.Code)
+	}
+
+	req = httptest.NewRequest("GET", "/v1/jobs/"+info.ID, nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var after Info
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Status != StatusCancelled {
+		t.Fatalf("status = %q, want cancelled", after.Status)
+	}
+
+	req = httptest.NewRequest("GET", "/v1/jobs/"+info.ID+"/result", nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"kind":"error"`) {
+		t.Fatalf("result = %d %q, want 200 with error line", rec.Code, rec.Body.String())
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	s := newServer(testConfig())
+	for _, r := range []*http.Request{
+		httptest.NewRequest("GET", "/v1/jobs/job-999", nil),
+		httptest.NewRequest("GET", "/v1/jobs/job-999/result", nil),
+		httptest.NewRequest("DELETE", "/v1/jobs/job-999", nil),
+	} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, r)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s %s: status = %d, want 404", r.Method, r.URL.Path, rec.Code)
+		}
+	}
+}
+
+func TestHealthReadyMetrics(t *testing.T) {
+	s := New(testConfig())
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", rec.Code)
+	}
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Fatalf("metrics Content-Type = %q, want %q", ct, obs.ContentTypePrometheus)
+	}
+	if !strings.Contains(rec.Body.String(), "simd_queue_depth") {
+		t.Fatal("metrics export missing simd_queue_depth")
+	}
+
+	// Draining flips readiness but not liveness, and submissions get 503.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", rec.Code)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200", rec.Code)
+	}
+	if w := postJob(t, s.Handler(), smallRoadmapSpec(), ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d, want 503", w.Code)
+	}
+}
+
+// TestShutdownCancelsRunningJobs gives the drain a tiny deadline so an
+// in-flight job must be cancelled rather than finished.
+func TestShutdownCancelsRunningJobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	s := New(cfg)
+
+	// A large dtm run: long enough to still be in flight at shutdown.
+	body := `{"type":"dtm","dtm":{"policy":"envelope","requests":100000}}`
+	w := postJob(t, s.Handler(), body, "?async=1")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", w.Code)
+	}
+	var info Info
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.lookup(info.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	// Wait until it is actually running so the hard-cancel path is the one
+	// exercised.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := j.snapshot(); st == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("shutdown took %v, cancellation not prompt", took)
+	}
+	if st, _ := j.snapshot(); st != StatusCancelled && st != StatusDone {
+		t.Fatalf("job status after drain = %q, want cancelled (or done if it raced)", st)
+	}
+}
+
+func TestJobEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxJobs = 2
+	s := newServer(cfg)
+
+	a := s.register(Spec{Type: TypeRoadmap})
+	a.finish(StatusQueued, StatusCancelled, nil)
+	s.register(Spec{Type: TypeRoadmap})
+	s.register(Spec{Type: TypeRoadmap})
+	if _, ok := s.lookup(a.id); ok {
+		t.Fatal("oldest terminal job should have been evicted")
+	}
+	if got := len(s.list()); got != 2 {
+		t.Fatalf("job list length = %d, want 2", got)
+	}
+}
+
+func TestResultBufferLimit(t *testing.T) {
+	b := newResultBuffer(10)
+	if err := b.append([]byte("12345\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.append([]byte("123456\n")); err != errResultTooLarge {
+		t.Fatalf("err = %v, want errResultTooLarge", err)
+	}
+}
+
+func TestResultBufferReplayAndFollow(t *testing.T) {
+	b := newResultBuffer(1 << 20)
+	if err := b.append([]byte("a\n")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		_ = b.stream(context.Background(), rec)
+		done <- rec.Body.String()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := b.append([]byte("b\n")); err != nil {
+		t.Fatal(err)
+	}
+	b.close()
+	if got := <-done; got != "a\nb\n" {
+		t.Fatalf("streamed %q, want \"a\\nb\\n\"", got)
+	}
+
+	// Replay after close sees the same bytes.
+	rec := httptest.NewRecorder()
+	if err := b.stream(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Body.String(); got != "a\nb\n" {
+		t.Fatalf("replayed %q, want \"a\\nb\\n\"", got)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -179,5 +180,22 @@ func TestAppenderSink(t *testing.T) {
 	a.Push(8)
 	if len(a.Items) != 2 || a.Items[1] != 8 {
 		t.Fatalf("appender %v", a.Items)
+	}
+}
+
+func TestGate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := Gate(ctx, FromSlice([]int{1, 2, 3, 4}))
+	if v, ok := src.Next(); !ok || v != 1 {
+		t.Fatalf("first Next = %d,%v, want 1,true", v, ok)
+	}
+	cancel()
+	if v, ok := src.Next(); ok {
+		t.Fatalf("Next after cancel = %d,%v, want exhausted", v, ok)
+	}
+	// A never-cancelled gate is transparent.
+	got := Collect(Gate(context.Background(), FromSlice([]int{5, 6})))
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("transparent gate collect %v", got)
 	}
 }
