@@ -3,6 +3,11 @@
 // scenarios submitted as HTTP/JSON jobs, executed on a bounded worker pool
 // and streamed back as NDJSON. SIGINT/SIGTERM drain gracefully: no new
 // jobs, in-flight work gets -drain-timeout to finish, metrics flush, exit 0.
+//
+// With -journal DIR the daemon is crash-safe: every admission, progress
+// checkpoint and completion is fsync-journaled, and startup replays the log
+// — completed jobs serve their buffered results, interrupted ones resume
+// from their last checkpoint and produce byte-identical output.
 package main
 
 import (
@@ -29,28 +34,40 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
 		maxRequests  = flag.Int("max-requests", 200000, "per-job trace-length cap")
 		metricsOut   = flag.String("metrics-out", "", "write a final metrics snapshot here on shutdown")
+
+		journalDir  = flag.String("journal", "", "journal directory for crash-safe jobs (empty = in-memory only)")
+		ckptEvery   = flag.Int("checkpoint-every", 2000, "completions between journal checkpoints in long runs")
+		compactEach = flag.Duration("compact-every", time.Minute, "journal compaction period")
 	)
 	flag.Parse()
-	if err := run(*addr, *addrFile, *workers, *queueDepth, *jobTimeout, *drainTimeout, *maxRequests, *metricsOut); err != nil {
+
+	cfg := server.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *jobTimeout,
+		DrainTimeout:    *drainTimeout,
+		MaxRequests:     *maxRequests,
+		JournalDir:      *journalDir,
+		CheckpointEvery: *ckptEvery,
+		CompactEvery:    *compactEach,
+	}
+	if err := run(cfg, *addrFile, *drainTimeout, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, workers, queueDepth int, jobTimeout, drainTimeout time.Duration, maxRequests int, metricsOut string) error {
+func run(cfg server.Config, addrFile string, drainTimeout time.Duration, metricsOut string) error {
 	reg := obs.NewRegistry()
 	parallel.SetMetrics(parallel.NewMetrics(reg))
 	defer parallel.SetMetrics(nil)
+	cfg.Registry = reg
 
-	srv := server.New(server.Config{
-		Addr:         addr,
-		Workers:      workers,
-		QueueDepth:   queueDepth,
-		JobTimeout:   jobTimeout,
-		DrainTimeout: drainTimeout,
-		MaxRequests:  maxRequests,
-		Registry:     reg,
-	})
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	if err := srv.Start(); err != nil {
 		return err
 	}

@@ -1,0 +1,124 @@
+// Command simload drives a running simd with concurrent job submissions
+// through the typed client, reporting how many ran to completion. It is
+// the smoke-load counterpart to cmd/simd: point it at a daemon (healthy or
+// being chaos-tested) and it tells you whether the service contract held.
+//
+// With -retry the client's robustness layer is active: exponential backoff
+// with full jitter honoring Retry-After, per-job idempotency keys so a
+// retried submission can never run twice, and a circuit breaker that fails
+// fast while the daemon is down. Without it, every refusal is a hard error
+// — useful to observe raw backpressure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "simd address (host:port)")
+		jobs        = flag.Int("jobs", 16, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 4, "concurrent submitters")
+		specJSON    = flag.String("spec", "", "job spec JSON (default: a small roadmap sweep)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+		retry       = flag.Bool("retry", false, "enable retries, idempotency keys and the circuit breaker")
+		keyPrefix   = flag.String("key-prefix", "", "idempotency key prefix (default: derived from the clock; implies per-job keys when -retry is set)")
+		seed        = flag.Int64("seed", 0, "retry-jitter seed (0 = from the clock)")
+	)
+	flag.Parse()
+	if err := run(*addr, *jobs, *concurrency, *specJSON, *timeout, *retry, *keyPrefix, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "simload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, jobs, concurrency int, specJSON string, timeout time.Duration, retry bool, keyPrefix string, seed int64) error {
+	spec := server.Spec{Type: server.TypeRoadmap, Roadmap: &server.RoadmapSpec{
+		FirstYear: 2002, LastYear: 2006, PlatterSizes: []float64{2.6},
+	}}
+	if specJSON != "" {
+		spec = server.Spec{}
+		dec := json.NewDecoder(strings.NewReader(specJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("bad -spec: %w", err)
+		}
+	}
+
+	opts := client.Options{
+		Seed: seed,
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	}
+	if !retry {
+		opts.Retry = client.RetryPolicy{MaxAttempts: 1}
+		opts.Breaker = client.BreakerPolicy{Threshold: -1}
+	}
+	if keyPrefix == "" {
+		keyPrefix = fmt.Sprintf("simload-%d", time.Now().UnixNano())
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := client.New(base, opts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := c.Ready(ctx); err != nil {
+		return fmt.Errorf("daemon not ready: %w", err)
+	}
+
+	var done, failed, refused atomic.Int64
+	start := time.Now()
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(n int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			key := ""
+			if retry {
+				key = fmt.Sprintf("%s-%d", keyPrefix, n)
+			}
+			info, err := c.SubmitAsync(ctx, spec, key)
+			if err != nil {
+				refused.Add(1)
+				fmt.Printf("simload: job %d refused: %v\n", n, err)
+				return
+			}
+			final, err := c.Wait(ctx, info.ID, 25*time.Millisecond)
+			if err != nil {
+				failed.Add(1)
+				fmt.Printf("simload: job %d (%s) lost: %v\n", n, info.ID, err)
+				return
+			}
+			if final.Status != server.StatusDone {
+				failed.Add(1)
+				fmt.Printf("simload: job %d (%s) ended %s: %s\n", n, info.ID, final.Status, final.Error)
+				return
+			}
+			done.Add(1)
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("simload: %d/%d done, %d failed, %d refused in %v\n",
+		done.Load(), jobs, failed.Load(), refused.Load(), time.Since(start).Round(time.Millisecond))
+	if done.Load() != int64(jobs) {
+		return fmt.Errorf("%d of %d jobs did not complete", int64(jobs)-done.Load(), jobs)
+	}
+	return nil
+}

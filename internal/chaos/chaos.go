@@ -1,0 +1,192 @@
+// Package chaos is the seeded fault-injection layer behind the robustness
+// suite: worker panics, journal write errors (partial writes, fsync
+// failures), stalled jobs and dropped connections, all reproducible from a
+// seed. Production code carries a nil *Chaos and pays one nil check; tests
+// arm specific operations by name and the same seed yields the same fault
+// schedule every run.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// Chaos decides, per named operation, whether this invocation fails. Two
+// arming modes compose: Prob(op, p) fails a seeded fraction of calls;
+// On(op, nth) fails exactly the nth call (1-based), which tests use to
+// place a fault deterministically.
+type Chaos struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	prob  map[string]float64
+	on    map[string]map[int]bool
+	calls map[string]int
+	fired map[string]int
+}
+
+// New returns a Chaos seeded for reproducibility. A nil *Chaos is valid
+// everywhere and never fires.
+func New(seed int64) *Chaos {
+	return &Chaos{
+		rng:   rand.New(rand.NewSource(seed)),
+		prob:  make(map[string]float64),
+		on:    make(map[string]map[int]bool),
+		calls: make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// Prob arms op to fail with probability p on every call.
+func (c *Chaos) Prob(op string, p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prob[op] = p
+}
+
+// On arms op to fail on its nth invocation (1-based). Repeat for several.
+func (c *Chaos) On(op string, nth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.on[op] == nil {
+		c.on[op] = make(map[int]bool)
+	}
+	c.on[op][nth] = true
+}
+
+// Fired reports how many times op has failed.
+func (c *Chaos) Fired(op string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired[op]
+}
+
+// Calls reports how many times op was consulted.
+func (c *Chaos) Calls(op string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[op]
+}
+
+// Fire consults the schedule for op. Nil-safe: a nil receiver never fires.
+func (c *Chaos) Fire(op string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls[op]++
+	hit := c.on[op][c.calls[op]]
+	if !hit {
+		if p := c.prob[op]; p > 0 && c.rng.Float64() < p {
+			hit = true
+		}
+	}
+	if hit {
+		c.fired[op]++
+	}
+	return hit
+}
+
+// Err returns an injected error when op fires, nil otherwise.
+func (c *Chaos) Err(op string) error {
+	if c.Fire(op) {
+		return fmt.Errorf("chaos: injected %s failure", op)
+	}
+	return nil
+}
+
+// Stall sleeps d when op fires (or until ctx ends), modelling a slow or
+// wedged dependency.
+func (c *Chaos) Stall(ctx context.Context, op string, d time.Duration) {
+	if !c.Fire(op) {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Journal file fault operations, consulted by File.
+const (
+	OpWrite        = "journal.write"         // whole write fails, nothing lands
+	OpWritePartial = "journal.write.partial" // half the bytes land, then error
+	OpSync         = "journal.sync"          // fsync fails after a clean write
+)
+
+// File wraps a journal file with write/sync fault injection. Wire it via
+// journal.Options.WrapFile.
+type File struct {
+	F journal.File
+	C *Chaos
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	if f.C.Fire(OpWritePartial) {
+		n, err := f.F.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("chaos: injected partial write (%d/%d bytes)", n, len(p))
+	}
+	if err := f.C.Err(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.F.Write(p)
+}
+
+func (f *File) Sync() error {
+	if err := f.C.Err(OpSync); err != nil {
+		return err
+	}
+	return f.F.Sync()
+}
+
+func (f *File) Truncate(size int64) error { return f.F.Truncate(size) }
+func (f *File) Close() error              { return f.F.Close() }
+
+// Seek forwards to the wrapped file when it supports seeking, which the
+// journal's rollback path needs after a truncation.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if s, ok := f.F.(interface {
+		Seek(offset int64, whence int) (int64, error)
+	}); ok {
+		return s.Seek(offset, whence)
+	}
+	return 0, fmt.Errorf("chaos: wrapped file does not seek")
+}
+
+// DropConns wraps an HTTP handler: when op fires, the client's connection
+// is severed mid-request instead of receiving a response — the
+// "connection drop mid-stream" fault the retrying client must survive.
+func DropConns(c *Chaos, op string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c.Fire(op) {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// Recorders and HTTP/2 can't hijack; panicking with
+			// ErrAbortHandler aborts the response without a reply, the
+			// closest equivalent.
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func TestNilChaosNeverFires(t *testing.T) {
+	var c *Chaos
+	for i := 0; i < 100; i++ {
+		if c.Fire("anything") {
+			t.Fatal("nil chaos fired")
+		}
+	}
+	if c.Err("x") != nil || c.Fired("x") != 0 || c.Calls("x") != 0 {
+		t.Fatal("nil chaos not inert")
+	}
+}
+
+func TestOnFiresExactNth(t *testing.T) {
+	c := New(1)
+	c.On("op", 3)
+	c.On("op", 5)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if c.Fire("op") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("fired on calls %v, want [3 5]", fired)
+	}
+	if c.Fired("op") != 2 || c.Calls("op") != 6 {
+		t.Fatalf("counters = %d fired / %d calls", c.Fired("op"), c.Calls("op"))
+	}
+}
+
+func TestProbIsSeededDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		c := New(seed)
+		c.Prob("op", 0.3)
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = c.Fire("op")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	anyFired := false
+	for _, v := range a {
+		anyFired = anyFired || v
+	}
+	if !anyFired {
+		t.Fatal("p=0.3 over 50 calls never fired")
+	}
+}
+
+// TestJournalSurvivesInjectedWriteFaults is the contract the server's
+// durability relies on: a partial write or fsync failure fails that append
+// loudly, rolls the log back, and the next append lands cleanly — replay
+// never sees a torn or half-applied record in the middle of the file.
+func TestJournalSurvivesInjectedWriteFaults(t *testing.T) {
+	for _, op := range []string{OpWrite, OpWritePartial, OpSync} {
+		t.Run(op, func(t *testing.T) {
+			dir := t.TempDir()
+			c := New(7)
+			c.On(op, opFaultCall(op, 2)) // fault the second append
+			j, _, err := journal.Open(dir, journal.Options{
+				WrapFile: func(f *os.File) journal.File { return &File{F: f, C: c} },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(journal.Record{Kind: journal.KindSubmit, Job: "job-1"}); err != nil {
+				t.Fatalf("first append: %v", err)
+			}
+			if err := j.Append(journal.Record{Kind: journal.KindSubmit, Job: "job-2"}); err == nil {
+				t.Fatal("faulted append succeeded")
+			}
+			if err := j.Append(journal.Record{Kind: journal.KindSubmit, Job: "job-3"}); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			j.Close()
+
+			j2, recs, err := journal.Open(dir, journal.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			if len(recs) != 2 || recs[0].Job != "job-1" || recs[1].Job != "job-3" {
+				t.Fatalf("replay after %s fault = %+v, want job-1,job-3", op, recs)
+			}
+		})
+	}
+}
+
+// opFaultCall maps "the nth Append" to the right call index for each op:
+// sync faults are consulted once per commit, write faults once per write.
+func opFaultCall(op string, nthAppend int) int { return nthAppend }
+
+func TestDropConnsSeversConnection(t *testing.T) {
+	c := New(3)
+	c.On("http.drop", 1)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(DropConns(c, "http.drop", inner))
+	defer srv.Close()
+
+	_, err := http.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+	var urlErr interface{ Unwrap() error }
+	if !errors.As(err, &urlErr) {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	// Second request goes through.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFileTruncatePassthrough(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := os.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	f := &File{F: raw, C: New(1)}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hey" {
+		t.Fatalf("file = %q, want hey", data)
+	}
+}

@@ -1,0 +1,265 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func roadmapSpec() server.Spec {
+	return server.Spec{Type: server.TypeRoadmap}
+}
+
+func writeInfo(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.Info{ID: "job-1", Status: server.StatusQueued})
+}
+
+// TestRetryHonorsRetryAfter: 429s with a Retry-After hint are retried and
+// eventually succeed; every attempt carries the idempotency key.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var keys atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Idempotency-Key") == "k1" {
+			keys.Add(1)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		writeInfo(w, http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(), Seed: 1})
+	info, err := c.SubmitAsync(context.Background(), roadmapSpec(), "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "job-1" {
+		t.Fatalf("info = %+v", info)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if got := keys.Load(); got != 3 {
+		t.Fatalf("idempotency key on %d/3 attempts", got)
+	}
+}
+
+// TestRetryExhaustionSurfacesLastError: a server that never recovers
+// produces an error naming the attempt count and the final status.
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, Seed: 1})
+	_, err := c.SubmitAsync(context.Background(), roadmapSpec(), "")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 StatusError", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("err = %v, want attempt count", err)
+	}
+}
+
+// TestTransportErrorRetriedOnlyWithKey: a connection-level failure is
+// ambiguous (the POST may have been applied), so it is only retried when an
+// idempotency key makes the replay safe.
+func TestTransportErrorRetriedOnlyWithKey(t *testing.T) {
+	// A server that accepts and immediately severs every connection.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			c.Close()
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, Seed: 1})
+
+	_, err := c.SubmitAsync(context.Background(), roadmapSpec(), "")
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("keyless POST was retried: %v", err)
+	}
+
+	_, err = c.SubmitAsync(context.Background(), roadmapSpec(), "k1")
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("keyed POST not retried to exhaustion: %v", err)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures open the circuit (calls fail
+// fast, no network), the cooldown admits a single half-open probe, and a
+// probe success closes the circuit again.
+func TestCircuitBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		writeInfo(w, http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{
+		Retry:   RetryPolicy{MaxAttempts: 1}, // isolate breaker behaviour
+		Breaker: BreakerPolicy{Threshold: 3, Cooldown: 30 * time.Millisecond},
+		Seed:    1,
+	})
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.SubmitAsync(ctx, roadmapSpec(), ""); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	wire := calls.Load()
+
+	// Open: fails fast without touching the server.
+	_, err := c.SubmitAsync(ctx, roadmapSpec(), "")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != wire {
+		t.Fatal("open circuit still hit the network")
+	}
+
+	// After the cooldown the half-open probe goes through and closes it.
+	healthy.Store(true)
+	time.Sleep(40 * time.Millisecond)
+	if _, err := c.SubmitAsync(ctx, roadmapSpec(), ""); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if _, err := c.SubmitAsync(ctx, roadmapSpec(), ""); err != nil {
+		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+// TestFailedProbeReopens: a failing half-open probe goes straight back to
+// open without needing Threshold new failures.
+func TestFailedProbeReopens(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{
+		Retry:   RetryPolicy{MaxAttempts: 1},
+		Breaker: BreakerPolicy{Threshold: 2, Cooldown: 20 * time.Millisecond},
+		Seed:    1,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		c.SubmitAsync(ctx, roadmapSpec(), "")
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Probe fails -> immediately open again.
+	if _, err := c.SubmitAsync(ctx, roadmapSpec(), ""); errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe was not admitted: %v", err)
+	}
+	if _, err := c.SubmitAsync(ctx, roadmapSpec(), ""); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after failed probe", err)
+	}
+}
+
+// TestContextCancelsBackoff: a context deadline interrupts the backoff
+// sleep instead of letting the schedule run to exhaustion.
+func TestContextCancelsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30") // hint far beyond the deadline
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SubmitAsync(ctx, roadmapSpec(), "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancellation not prompt: %v", took)
+	}
+}
+
+// TestClientAgainstRealServer exercises the full loop against an actual
+// simd server: async submit with a key, wait, fetch the result, and dedupe
+// a duplicate submission.
+func TestClientAgainstRealServer(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 2, QueueDepth: 8, JobTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(), Seed: 1})
+	ctx := context.Background()
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	spec := server.Spec{Type: server.TypeRoadmap, Roadmap: &server.RoadmapSpec{FirstYear: 2002, LastYear: 2003}}
+
+	info, err := c.SubmitAsync(ctx, spec, "e2e-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, info.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != server.StatusDone {
+		t.Fatalf("status = %q (%s)", final.Status, final.Error)
+	}
+	body, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"kind":"summary"`) {
+		t.Fatalf("result missing summary: %s", body)
+	}
+	// Same key: same job, not a second run.
+	dup, err := c.SubmitAsync(ctx, spec, "e2e-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != info.ID {
+		t.Fatalf("dedup returned %s, want %s", dup.ID, info.ID)
+	}
+}

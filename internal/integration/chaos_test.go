@@ -1,0 +1,289 @@
+// Chaos integration: a real simd subprocess (built with -race), a journal,
+// live load, and kill -9. The acceptance contract from the issue: after
+// restart every acknowledged job reaches a terminal state exactly once,
+// interrupted jobs resume from their last checkpoint, and a resumed seeded
+// job's NDJSON result is byte-identical to an uninterrupted run.
+package integration
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// buildSimd compiles the daemon (race-instrumented, so the subprocess is
+// part of the -race acceptance run) into a per-test temp dir.
+func buildSimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simd")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-race", "-o", bin, "repro/cmd/simd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build simd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startSimd launches the daemon against a journal dir and returns its base
+// URL once it is listening.
+func startSimd(t *testing.T, bin, journalDir string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-journal", journalDir,
+		"-checkpoint-every", "1000",
+		"-workers", "2",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("simd never wrote its address")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitReady polls /readyz until the daemon reports state=ready (journal
+// replay included).
+func waitReady(t *testing.T, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Ready(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func scrapeMetric(t *testing.T, base, name string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, name) {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestSIGKILLRecovery is the end-to-end crash drill. The kill point is
+// randomized (seeded, logged) so repeated CI runs sample different cut
+// positions in the long job's stream.
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos drill")
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("chaos seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	bin := buildSimd(t)
+	journalDir := t.TempDir()
+	cmd, base := startSimd(t, bin, journalDir)
+	defer cmd.Process.Kill()
+
+	c := client.New(base, client.Options{
+		Retry: client.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+		Seed:  seed,
+	})
+	waitReady(t, c)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Load: a burst of quick roadmap jobs plus one long seeded dtm run that
+	// the kill must land in the middle of.
+	quick := server.Spec{Type: server.TypeRoadmap, Roadmap: &server.RoadmapSpec{
+		FirstYear: 2002, LastYear: 2004, PlatterSizes: []float64{2.6},
+	}}
+	long := server.Spec{Type: server.TypeDTM, DTM: &server.DTMSpec{
+		Policy: "envelope", Requests: 200000, SampleEvery: 500,
+	}}
+
+	acked := map[string]string{} // idempotency key -> job id
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("quick-%d", i)
+		info, err := c.SubmitAsync(ctx, quick, key)
+		if err != nil {
+			t.Fatalf("submit %s: %v", key, err)
+		}
+		acked[key] = info.ID
+	}
+	longInfo, err := c.SubmitAsync(ctx, long, "long-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked["long-0"] = longInfo.ID
+
+	// Kill once the long job has streamed a randomized number of lines —
+	// the journal then holds a real mid-run checkpoint prefix.
+	wantLines := 3 + rng.Intn(12)
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		info, err := c.Job(ctx, longInfo.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status == server.StatusDone {
+			t.Fatal("long job finished before the kill; raise requests")
+		}
+		if info.ResultLines >= wantLines {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("long job never reached %d lines (at %d)", wantLines, info.ResultLines)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no courtesy
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart over the same journal.
+	cmd2, base2 := startSimd(t, bin, journalDir)
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd2.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd2.Process.Kill()
+		}
+	}()
+	c2 := client.New(base2, client.Options{
+		Retry: client.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+		Seed:  seed + 1,
+	})
+	waitReady(t, c2)
+
+	// Exactly once: every acknowledged job is back, none duplicated, and
+	// each reaches a terminal state.
+	resp, err := http.Get(base2 + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []server.Info `json:"jobs"`
+	}
+	if err := decodeJSON(resp, &list); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, j := range list.Jobs {
+		seen[j.ID]++
+	}
+	if len(list.Jobs) != len(acked) {
+		t.Fatalf("replayed %d jobs, want %d: %+v", len(list.Jobs), len(acked), seen)
+	}
+	for key, id := range acked {
+		if seen[id] != 1 {
+			t.Fatalf("job %s (%s) appears %d times after restart", id, key, seen[id])
+		}
+		final, err := c2.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if final.Status != server.StatusDone {
+			t.Fatalf("job %s (%s) ended %q (%s), want done", id, key, final.Status, final.Error)
+		}
+	}
+
+	// Idempotency keys survive the crash: resubmission attaches to the
+	// original job instead of running it again.
+	for key, id := range acked {
+		spec := quick
+		if key == "long-0" {
+			spec = long
+		}
+		dup, err := c2.SubmitAsync(ctx, spec, key)
+		if err != nil {
+			t.Fatalf("dedup %s: %v", key, err)
+		}
+		if dup.ID != id {
+			t.Fatalf("key %s now maps to %s, was %s", key, dup.ID, id)
+		}
+	}
+
+	// The long job really resumed from a checkpoint (not silently re-run
+	// from nothing while we weren't looking)...
+	if line := scrapeMetric(t, base2, "simd_jobs_resumed_total"); line == "" || strings.HasSuffix(line, " 0") {
+		t.Fatalf("simd_jobs_resumed_total = %q, want >= 1", line)
+	}
+	// ...and its resumed result is byte-identical to an uninterrupted run
+	// of the same seeded spec.
+	resumed, err := c2.Result(ctx, longInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c2.Submit(ctx, long, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, fresh) {
+		t.Fatalf("resumed result differs from uninterrupted run (%d vs %d bytes)", len(resumed), len(fresh))
+	}
+	quickResumed, err := c2.Result(ctx, acked["quick-0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	quickFresh, err := c2.Submit(ctx, quick, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(quickResumed, quickFresh) {
+		t.Fatal("quick job's replayed result differs from a fresh run")
+	}
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, v)
+}

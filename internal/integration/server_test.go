@@ -26,7 +26,10 @@ import (
 func startServer(t *testing.T, cfg server.Config) *server.Server {
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
 	}

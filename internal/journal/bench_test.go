@@ -1,0 +1,62 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJournalAppend is the durability cost on the admission path: one
+// fsync-committed submit-sized record per op. cmd/benchdiff gates it via
+// BENCH_serve.json so journal overhead stays bounded.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, _, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := Record{
+		Kind: KindSubmit,
+		Job:  "job-1",
+		Key:  "11111111-2222-3333-4444-555555555555",
+		Spec: json.RawMessage(`{"type":"dtm","dtm":{"policy":"envelope","requests":30000}}`),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures startup cost: scanning and decoding a 10k-record
+// log, the shape of a busy daemon's journal after a crash.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10000
+	for i := 0; i < records; i++ {
+		rec := Record{Kind: KindChunk, Job: fmt.Sprintf("job-%d", i%64), Lines: []string{`{"kind":"sample","completed":1000}`}}
+		if err := j.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j2, recs, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != records {
+			b.Fatalf("replayed %d records, want %d", len(recs), records)
+		}
+		j2.Close()
+	}
+}

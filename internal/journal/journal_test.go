@@ -1,0 +1,251 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Kind: KindSubmit, Job: "job-1", Key: "k1", Spec: json.RawMessage(`{"type":"roadmap"}`)},
+		{Kind: KindState, Job: "job-1", Status: "running"},
+		{Kind: KindChunk, Job: "job-1", Lines: []string{`{"kind":"point"}`, `{"kind":"summary"}`}},
+		{Kind: KindState, Job: "job-1", Status: "done"},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got := mustOpen(t, dir, Options{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, _ := json.Marshal(want[i])
+		g, _ := json.Marshal(got[i])
+		if string(w) != string(g) {
+			t.Errorf("record %d: got %s, want %s", i, g, w)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	if err := j.Append(Record{Kind: KindSubmit, Job: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindState, Job: "job-1", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: chop bytes off the tail.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var msgs []string
+	j2, recs := mustOpen(t, dir, Options{Logf: func(f string, a ...any) { msgs = append(msgs, fmt.Sprintf(f, a...)) }})
+	if len(recs) != 1 || recs[0].Job != "job-1" || recs[0].Kind != KindSubmit {
+		t.Fatalf("after torn tail, replayed %+v, want just the submit", recs)
+	}
+	if len(msgs) == 0 {
+		t.Error("torn-tail truncation was silent")
+	}
+	// The journal must keep working: the truncated file accepts appends and
+	// the result replays cleanly.
+	if err := j2.Append(Record{Kind: KindState, Job: "job-1", Status: "failed", Error: "crashed"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs = mustOpen(t, dir, Options{})
+	if len(recs) != 2 || recs[1].Status != "failed" {
+		t.Fatalf("post-recovery replay = %+v", recs)
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Kind: KindSubmit, Job: fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, logName)
+	data, _ := os.ReadFile(path)
+	// Flip a payload bit in the second frame.
+	_, n1, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[n1+frameHeaderSize] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a corrupt frame, want 1", len(recs))
+	}
+}
+
+func TestCompactionKeepsLiveOnly(t *testing.T) {
+	dir := t.TempDir()
+	var msgs []string
+	j, _ := mustOpen(t, dir, Options{Logf: func(f string, a ...any) { msgs = append(msgs, fmt.Sprintf(f, a...)) }})
+	for i := 0; i < 10; i++ {
+		if err := j.Append(Record{Kind: KindSubmit, Job: fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := []Record{
+		{Kind: KindSubmit, Job: "job-9"},
+		{Kind: KindState, Job: "job-9", Status: "running"},
+	}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "dropped 8 records") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("compaction dropping records did not log; got %v", msgs)
+	}
+
+	// A no-op compaction (nothing dropped) must be silent.
+	msgs = nil
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if strings.Contains(m, "compacted") {
+			t.Errorf("all-kept compaction logged: %q", m)
+		}
+	}
+
+	// Appends after compaction land in the new file.
+	if err := j.Append(Record{Kind: KindState, Job: "job-9", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 3 || recs[0].Job != "job-9" || recs[2].Status != "done" {
+		t.Fatalf("post-compaction replay = %+v", recs)
+	}
+}
+
+func TestConcurrentAppendsAllDurable(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- j.Append(Record{Kind: KindSubmit, Job: fmt.Sprintf("job-%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if seen[r.Job] {
+			t.Fatalf("duplicate record for %s", r.Job)
+		}
+		seen[r.Job] = true
+	}
+}
+
+func TestAppendAfterCloseErrors(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir(), Options{})
+	j.Close()
+	if err := j.Append(Record{Kind: KindSubmit, Job: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir(), Options{})
+	huge := Record{Kind: KindChunk, Job: "j", Lines: []string{strings.Repeat("x", maxFrameBytes)}}
+	if err := j.Append(huge); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestDecodeFrameEdges(t *testing.T) {
+	frame, err := EncodeRecord(Record{Kind: KindSubmit, Job: "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty input is a clean end; every other strict prefix is torn.
+	if _, _, err := DecodeFrame(nil); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty input err = %v, want io.EOF", err)
+	}
+	for i := 1; i < len(frame); i++ {
+		if _, _, err := DecodeFrame(frame[:i]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix %d: err = %v, want ErrTorn", i, err)
+		}
+	}
+	// Any single-bit payload flip is corrupt.
+	for i := frameHeaderSize; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 1
+		if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}

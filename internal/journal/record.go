@@ -1,0 +1,139 @@
+// Package journal is the durable job log behind the simulation service: an
+// append-only file of length-prefixed, CRC32-checked JSON records with
+// group-committed fsync, torn-tail-tolerant replay, and timer-driven
+// compaction that rewrites the log keeping only live jobs. It is stdlib
+// only, like everything else in the repo.
+//
+// Frame layout (little-endian):
+//
+//	[4B payload length][4B IEEE CRC32 of payload][payload JSON]
+//
+// A crash can leave at most one torn frame at the tail of the file; replay
+// detects it (short frame or CRC mismatch), truncates it away, and the next
+// append continues from the last durable record. A CRC mismatch can never
+// be read back as data, and a frame can never be confused with its
+// neighbours because the length prefix is validated against the bytes that
+// actually follow it.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record kinds. The journal itself is agnostic about their meaning; the
+// server gives them semantics (see internal/server and DESIGN.md §10).
+const (
+	KindSubmit = "submit" // a job was admitted: Job, Key, Spec
+	KindState  = "state"  // a lifecycle transition: Job, Status, Error
+	KindChunk  = "chunk"  // a checkpoint of result lines: Job, Lines
+)
+
+// Record is one journal entry.
+type Record struct {
+	Kind   string          `json:"kind"`
+	Job    string          `json:"job"`
+	Key    string          `json:"key,omitempty"`    // idempotency key (submit)
+	Spec   json.RawMessage `json:"spec,omitempty"`   // job spec JSON (submit)
+	Status string          `json:"status,omitempty"` // lifecycle state (state)
+	Error  string          `json:"error,omitempty"`  // terminal error (state)
+	Lines  []string        `json:"lines,omitempty"`  // result lines (chunk)
+}
+
+// frameHeaderSize is the fixed prefix before each payload.
+const frameHeaderSize = 8
+
+// maxFrameBytes bounds a single record so a corrupt length prefix can never
+// provoke a multi-gigabyte allocation. It is comfortably above the server's
+// per-job result cap.
+const maxFrameBytes = 64 << 20
+
+// Decode errors. ErrTorn marks a frame cut short by a crash (recoverable:
+// truncate and continue); ErrCorrupt marks bytes that are present but wrong
+// (CRC mismatch, absurd length, invalid JSON).
+var (
+	ErrTorn    = errors.New("journal: torn frame at tail")
+	ErrCorrupt = errors.New("journal: corrupt frame")
+)
+
+// appendFrame frames payload onto buf and returns the extended slice.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// EncodeRecord frames one record into a byte slice ready to append.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeFrame reads one frame from data. It returns the decoded payload and
+// the number of bytes consumed. io.EOF means a clean end (no bytes left);
+// ErrTorn means the remaining bytes are shorter than the frame they
+// announce; ErrCorrupt means the frame is complete but fails its checks.
+func DecodeFrame(data []byte) (payload []byte, n int, err error) {
+	if len(data) == 0 {
+		return nil, 0, io.EOF
+	}
+	if len(data) < frameHeaderSize {
+		return nil, 0, ErrTorn
+	}
+	size := binary.LittleEndian.Uint32(data[0:4])
+	if size > maxFrameBytes {
+		return nil, 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, size)
+	}
+	end := frameHeaderSize + int(size)
+	if len(data) < end {
+		return nil, 0, ErrTorn
+	}
+	payload = data[frameHeaderSize:end]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, end, nil
+}
+
+// DecodeRecord parses one framed record. Corrupt or torn input returns an
+// error — never a partially-filled record.
+func DecodeRecord(data []byte) (Record, int, error) {
+	payload, n, err := DecodeFrame(data)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, n, nil
+}
+
+// scanRecords walks data decoding consecutive records. It returns the
+// records up to the first bad frame, the byte offset of the clean prefix,
+// and the error that stopped the scan (nil on a clean end). The caller
+// decides what to do with the suffix — Open truncates it.
+func scanRecords(data []byte) (recs []Record, goodBytes int, err error) {
+	off := 0
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, off, nil
+}

@@ -113,6 +113,17 @@ func (b *resultBuffer) stream(ctx context.Context, w http.ResponseWriter) error 
 	}
 }
 
+// line returns buffered line i (newline included), or nil when i is out of
+// range. Lines are append-only, so the returned slice is stable.
+func (b *resultBuffer) line(i int) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.lines) {
+		return nil
+	}
+	return b.lines[i]
+}
+
 func (b *resultBuffer) lineCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzJobSpec throws arbitrary bytes at the submission endpoint's JSON
+// decoding and validation: the handler must never panic and must answer
+// with one of the admission-path statuses — garbage is a 400, valid specs
+// are admitted (202) or bounced by the bounded queue (429), nothing else.
+func FuzzJobSpec(f *testing.F) {
+	f.Add([]byte(`{"type":"roadmap","roadmap":{"first_year":2002,"last_year":2003}}`))
+	f.Add([]byte(`{"type":"dtm","dtm":{"policy":"drpm"}}`))
+	f.Add([]byte(`{"type":"figure4","figure4":{"workload":"TPC-C","requests":100}}`))
+	f.Add([]byte(`{"type":"raid","raid":{"workload":"TPC-C"}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"type":"roadmap","bogus":1}`))
+	f.Add([]byte(`{"type":"roadmap","workers":-1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	cfg := testConfig()
+	cfg.QueueDepth = 4
+	s := newServer(cfg) // no workers: admission only, nothing executes
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/jobs?async=1", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusAccepted, http.StatusBadRequest, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("spec %q: status %d outside the admission contract", body, w.Code)
+		}
+	})
+}

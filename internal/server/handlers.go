@@ -111,14 +111,39 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := s.register(spec)
+	key := r.Header.Get("Idempotency-Key")
+	j, existing := s.register(spec, key)
+	if existing {
+		// A retried submission (same Idempotency-Key, possibly across a
+		// daemon restart) attaches to the original job instead of running
+		// the work twice.
+		w.Header().Set("X-Idempotent-Replay", "true")
+		if r.URL.Query().Get("async") == "1" {
+			w.Header().Set("Location", "/v1/jobs/"+j.id)
+			writeJSON(w, http.StatusOK, j.info())
+			return
+		}
+		s.streamResult(w, r, j, false)
+		return
+	}
+
+	// Durability before acknowledgement: a job the client saw accepted must
+	// survive a crash, so the submit record lands before the queue does.
+	if err := s.journalSubmit(j); err != nil {
+		s.unregister(j)
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		jsonError(w, http.StatusServiceUnavailable, "journal unavailable: "+err.Error())
+		return
+	}
+
 	if err := s.enqueue(j); err != nil {
 		// The record stays visible as cancelled so a client that races
 		// the drain can still see what happened to its submission.
 		j.finish(StatusQueued, StatusCancelled, err)
 		s.met.jobFinished(StatusCancelled)
+		s.journalFinish(j)
 		switch {
-		case errors.Is(err, errDraining):
+		case errors.Is(err, errDraining), errors.Is(err, errReplaying):
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			jsonError(w, http.StatusServiceUnavailable, err.Error())
 		default:
@@ -147,6 +172,7 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, j *job, ow
 		defer func() {
 			if ctx.Err() != nil && j.requestCancel() {
 				s.met.jobFinished(StatusCancelled)
+				s.journalFinish(j)
 			}
 		}()
 	}
@@ -209,6 +235,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.requestCancel() {
 		s.met.jobFinished(StatusCancelled)
+		s.journalFinish(j)
 	}
 	writeJSON(w, http.StatusAccepted, j.info())
 }
@@ -218,18 +245,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz reports 503 once draining so load balancers stop routing
-// new submissions while status endpoints keep answering.
+// handleReadyz reports the lifecycle state so orchestrators can tell a
+// daemon that is still replaying its journal from one that is draining for
+// shutdown: both answer 503, but only the former will become ready. The
+// body carries a machine-readable state= field.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.queueMu.Lock()
-	draining := s.draining
-	s.queueMu.Unlock()
+	st := s.lifecycle()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if draining {
+	if st != lifeReady {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		fmt.Fprintf(w, "unavailable state=%s\n", st)
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	fmt.Fprintln(w, "ok state=ready")
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -289,6 +290,7 @@ type Info struct {
 type job struct {
 	id      string
 	spec    Spec
+	key     string // idempotency key, "" when the client sent none
 	created time.Time
 	buf     *resultBuffer
 
@@ -298,6 +300,22 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	cancel   func() // set while running; cancels the job's context
+
+	// Journaling state (all guarded by mu). track mirrors "the server has
+	// a journal": emitted lines are copied into pending until a checkpoint
+	// or completion makes them durable. A job replayed mid-run carries
+	// skip = its durable line count: the deterministic re-run swallows (and
+	// byte-verifies) that prefix instead of double-emitting it.
+	track     bool
+	pending   []string // emitted, not yet journaled (newline stripped)
+	journaled int      // durable result lines (a prefix of buf)
+	skip      int      // resume: lines left to verify-skip
+	verifyIdx int      // next buffer index to verify against
+
+	// ckptMu serializes whole checkpoints (take pending -> append chunk ->
+	// confirm) so a runner checkpoint and a cancel-path flush can never
+	// interleave their chunk records out of buffer order.
+	ckptMu sync.Mutex
 }
 
 // errorLine is the in-band terminal record appended when a job fails or is
@@ -308,13 +326,66 @@ type errorLine struct {
 	Error string `json:"error"`
 }
 
-// emit encodes one result line into the job's buffer.
+// emit encodes one result line into the job's buffer and, when the server
+// journals, into the pending set the next checkpoint flushes. On a resumed
+// run the first skip calls are swallowed — the lines are already in the
+// buffer from replay — but each recomputed line is verified byte-for-byte
+// against the journaled one, so a broken determinism contract fails the
+// job loudly instead of serving a silently-spliced result.
 func (j *job) emit(v any) error {
 	line, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return j.buf.append(append(line, '\n'))
+	line = append(line, '\n')
+	j.mu.Lock()
+	if j.skip > 0 {
+		idx := j.verifyIdx
+		j.verifyIdx++
+		j.skip--
+		j.mu.Unlock()
+		if prev := j.buf.line(idx); !bytes.Equal(prev, line) {
+			return fmt.Errorf("resume divergence at line %d: recomputed result differs from journaled bytes", idx)
+		}
+		return nil
+	}
+	track := j.track
+	j.mu.Unlock()
+
+	if err := j.buf.append(line); err != nil {
+		return err
+	}
+	if track {
+		j.mu.Lock()
+		j.pending = append(j.pending, string(line[:len(line)-1]))
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// takePending claims the emitted-but-not-durable lines for a checkpoint.
+func (j *job) takePending() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := j.pending
+	j.pending = nil
+	return p
+}
+
+// restorePending puts lines back after a failed journal append, ahead of
+// anything emitted since, preserving result order for the retry.
+func (j *job) restorePending(lines []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending = append(lines, j.pending...)
+}
+
+// confirmJournaled advances the durable-prefix counter after a successful
+// chunk append.
+func (j *job) confirmJournaled(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.journaled += n
 }
 
 // markRunning moves queued -> running; false means the job was cancelled

@@ -22,6 +22,17 @@ type metrics struct {
 	inflightN  atomic.Int64
 	queueN     atomic.Int64
 
+	// Robustness instruments: contained worker panics, journal durability
+	// traffic, and crash-recovery replay activity.
+	panics              *obs.Counter
+	journalAppends      *obs.Counter
+	journalAppendErrors *obs.Counter
+	journalBytes        *obs.Counter
+	journalCompactions  *obs.Counter
+	journalDropped      *obs.Counter
+	jobsReplayed        *obs.Counter
+	jobsResumed         *obs.Counter
+
 	reg *obs.Registry
 }
 
@@ -31,7 +42,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 		inflight:   reg.VolatileGauge("simd_jobs_inflight"),
 		rejected:   reg.VolatileCounter("simd_jobs_rejected_total"),
 		jobsTotal:  make(map[Status]*obs.Counter),
-		reg:        reg,
+
+		panics:              reg.VolatileCounter("simd_job_panics_total"),
+		journalAppends:      reg.VolatileCounter("simd_journal_appends_total"),
+		journalAppendErrors: reg.VolatileCounter("simd_journal_append_errors_total"),
+		journalBytes:        reg.VolatileCounter("simd_journal_bytes_total"),
+		journalCompactions:  reg.VolatileCounter("simd_journal_compactions_total"),
+		journalDropped:      reg.VolatileCounter("simd_journal_records_dropped_total"),
+		jobsReplayed:        reg.VolatileCounter("simd_jobs_replayed_total"),
+		jobsResumed:         reg.VolatileCounter("simd_jobs_resumed_total"),
+
+		reg: reg,
 	}
 	// Pre-register every terminal status so the series exist (at zero)
 	// from the first scrape.

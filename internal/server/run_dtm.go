@@ -52,7 +52,7 @@ type dtmResultLine struct {
 
 // runDTM executes one closed-loop policy on the 2005 reference drive, the
 // same configuration cmd/dtm's policy comparison runs.
-func runDTM(ctx context.Context, spec Spec, emit emitFunc) error {
+func runDTM(ctx context.Context, spec Spec, env runEnv) error {
 	d := spec.DTM
 	n := d.Requests
 	if n == 0 {
@@ -90,12 +90,15 @@ func runDTM(ctx context.Context, spec Spec, emit emitFunc) error {
 		mean.Add(c.Response())
 		count++
 		if emitErr == nil && d.SampleEvery > 0 && count%d.SampleEvery == 0 {
-			emitErr = emit(dtmSampleLine{
+			emitErr = env.emit(dtmSampleLine{
 				Kind:      "sample",
 				Completed: count,
 				SimMillis: float64(c.Finish) / float64(time.Millisecond),
 				MeanMS:    mean.Mean(),
 			})
+		}
+		if env.checkpointDue(count) {
+			env.checkpoint(int64(count))
 		}
 	})
 
@@ -190,7 +193,7 @@ func runDTM(ctx context.Context, spec Spec, emit emitFunc) error {
 	if emitErr != nil {
 		return emitErr
 	}
-	return emit(out)
+	return env.emit(out)
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

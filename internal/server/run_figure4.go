@@ -35,7 +35,7 @@ type figure4SummaryLine struct {
 
 // runFigure4 replays one workload (or all five) across the RPM sweep,
 // streaming each completed step.
-func runFigure4(ctx context.Context, spec Spec, emit emitFunc) error {
+func runFigure4(ctx context.Context, spec Spec, env runEnv) error {
 	f := spec.Figure4
 	workloads, err := lookupWorkloads(f.Workload)
 	if err != nil {
@@ -58,11 +58,12 @@ func runFigure4(ctx context.Context, spec Spec, emit emitFunc) error {
 			}
 		}
 		var emitErr error
+		var stepsDone int64
 		onStep := sim.SinkFunc[core.RPMStep](func(s core.RPMStep) {
 			if emitErr != nil {
 				return
 			}
-			emitErr = emit(figure4StepLine{
+			emitErr = env.emit(figure4StepLine{
 				Kind:             "step",
 				Workload:         w.Name,
 				RPM:              float64(s.RPM),
@@ -70,6 +71,10 @@ func runFigure4(ctx context.Context, spec Spec, emit emitFunc) error {
 				P95Millis:        s.P95Millis,
 				CacheHitFraction: s.CacheHitFraction,
 			})
+			// Each step is a whole sub-simulation; make it durable as soon
+			// as its line is out.
+			stepsDone++
+			env.checkpoint(stepsDone)
 		})
 		res, err := core.RunFigure4StepsStreamCtx(ctx, w, steps, spec.workers(), core.Observe{}, onStep)
 		if err != nil {
@@ -85,7 +90,7 @@ func runFigure4(ctx context.Context, spec Spec, emit emitFunc) error {
 			Steps:        len(res.Steps),
 			Improvements: res.Improvements(),
 		}
-		if err := emit(sum); err != nil {
+		if err := env.emit(sum); err != nil {
 			return err
 		}
 	}

@@ -61,7 +61,7 @@ type raidReportLine struct {
 
 // runRAID replays one workload with a member disk failed mid-run through
 // the recovery engine, streaming fault events and the final report.
-func runRAID(ctx context.Context, spec Spec, emit emitFunc) error {
+func runRAID(ctx context.Context, spec Spec, env runEnv) error {
 	r := spec.RAID
 	w, err := trace.WorkloadByName(r.Workload)
 	if err != nil {
@@ -124,7 +124,7 @@ func runRAID(ctx context.Context, spec Spec, emit emitFunc) error {
 		}
 		count++
 		if emitErr == nil && r.SampleEvery > 0 && count%r.SampleEvery == 0 {
-			emitErr = emit(raidSampleLine{
+			emitErr = env.emit(raidSampleLine{
 				Kind:          "sample",
 				Completed:     count,
 				SimMillis:     durMS(c.Finish),
@@ -132,6 +132,9 @@ func runRAID(ctx context.Context, spec Spec, emit emitFunc) error {
 				HealthyMeanMS: healthy.Mean(),
 				DegradedMean:  degraded.Mean(),
 			})
+		}
+		if env.checkpointDue(count) {
+			env.checkpoint(int64(count))
 		}
 	})
 	if err := sess.RunStreamCtx(ctx, sim.NewEngine(), src, sink); err != nil {
@@ -148,11 +151,11 @@ func runRAID(ctx context.Context, spec Spec, emit emitFunc) error {
 			Disk:      e.Disk,
 			SimMillis: durMS(e.Time),
 		}
-		if err := emit(line); err != nil {
+		if err := env.emit(line); err != nil {
 			return err
 		}
 	}
-	return emit(raidReportLine{
+	return env.emit(raidReportLine{
 		Kind:            "report",
 		Workload:        w.Name,
 		Level:           fmt.Sprint(vol.Level()),

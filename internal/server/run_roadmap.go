@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/scaling"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -11,6 +12,29 @@ import (
 // spec-determined values through it — no wall-clock, no job identity — so
 // a seeded job's body is byte-identical on every run at any worker count.
 type emitFunc = func(v any) error
+
+// runEnv is what a runner gets beyond the spec: the emit sink plus the
+// optional checkpointer that makes the lines emitted so far durable.
+// Checkpoints are cut at deterministic positions on the sim timeline (a
+// completion count, a sweep index) so a resumed run re-finds the same
+// boundaries.
+type runEnv struct {
+	emit            emitFunc
+	ckpt            sim.Checkpointer
+	checkpointEvery int
+}
+
+// checkpoint marks progress at pos; a no-op without a checkpointer.
+func (e runEnv) checkpoint(pos int64) {
+	if e.ckpt != nil {
+		e.ckpt.Checkpoint(pos)
+	}
+}
+
+// checkpointDue reports whether a completion-count checkpoint falls on n.
+func (e runEnv) checkpointDue(n int) bool {
+	return e.ckpt != nil && e.checkpointEvery > 0 && n%e.checkpointEvery == 0
+}
 
 // roadmapPointLine is one (year, size) roadmap cell, kind "point".
 type roadmapPointLine struct {
@@ -38,7 +62,7 @@ type roadmapSummaryLine struct {
 // runRoadmap executes a roadmap job. scaling.Roadmap has no internal
 // cancellation hooks, but a default sweep is sub-second, so the job runs
 // whole and the context is honoured between emitted lines.
-func runRoadmap(ctx context.Context, spec Spec, emit emitFunc) error {
+func runRoadmap(ctx context.Context, spec Spec, env runEnv) error {
 	r := spec.Roadmap
 	if r == nil {
 		r = &RoadmapSpec{}
@@ -58,7 +82,7 @@ func runRoadmap(ctx context.Context, spec Spec, emit emitFunc) error {
 	if err != nil {
 		return err
 	}
-	for _, p := range pts {
+	for i, p := range pts {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -76,11 +100,16 @@ func runRoadmap(ctx context.Context, spec Spec, emit emitFunc) error {
 			CapacityGB:     p.Capacity.GB(),
 			MeetsTarget:    p.MeetsTarget,
 		}
-		if err := emit(line); err != nil {
+		if err := env.emit(line); err != nil {
 			return err
 		}
+		// Roadmap sweeps are small; checkpoint every few rows rather than
+		// on the (larger) completion-count cadence.
+		if (i+1)%8 == 0 {
+			env.checkpoint(int64(i + 1))
+		}
 	}
-	return emit(roadmapSummaryLine{
+	return env.emit(roadmapSummaryLine{
 		Kind:        "summary",
 		Points:      len(pts),
 		FalloffYear: scaling.FalloffYear(pts),

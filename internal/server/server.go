@@ -15,8 +15,11 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -37,6 +40,22 @@ type Config struct {
 	MaxRequests    int   // per-job trace-length cap, default 200000
 	MaxResultBytes int64 // per-job buffered result cap, default 16 MiB
 	MaxJobs        int   // retained job records before oldest-terminal eviction, default 256
+
+	// JournalDir enables crash safety: every admission, checkpoint and
+	// completion is fsync-journaled there, and startup replays the log —
+	// completed jobs serve their buffered results, interrupted ones resume
+	// from their last checkpoint. Empty runs in-memory only.
+	JournalDir      string
+	CheckpointEvery int           // completions between checkpoint marks in long runs, default 2000
+	CompactEvery    time.Duration // journal compaction period, default 1m
+
+	// Chaos injects seeded faults (worker panics, journal write errors,
+	// stalls) for the robustness suite. nil in production.
+	Chaos *chaos.Chaos
+
+	// Logf receives operational messages (journal recovery, compaction).
+	// nil uses fmt.Printf, matching the daemon's existing logging.
+	Logf func(format string, args ...any)
 
 	Registry *obs.Registry // metrics destination; nil gets a private registry
 }
@@ -69,10 +88,41 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2000
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
 	return c
+}
+
+// lifeState is the server's lifecycle: journal replay in progress, serving,
+// or draining for shutdown. /readyz exposes it so orchestrators can tell
+// boot from shutdown.
+type lifeState int
+
+const (
+	lifeReplaying lifeState = iota
+	lifeReady
+	lifeDraining
+)
+
+func (l lifeState) String() string {
+	switch l {
+	case lifeReplaying:
+		return "replaying"
+	case lifeDraining:
+		return "draining"
+	default:
+		return "ready"
+	}
 }
 
 // Server is the simulation service: a job registry, a bounded queue feeding
@@ -84,15 +134,23 @@ type Server struct {
 	mux *http.ServeMux
 
 	// queueMu guards queue sends against close(queue): enqueue and
-	// beginDrain take it, so a send can never race the close.
-	queueMu  sync.Mutex
-	queue    chan *job
-	draining bool
+	// beginDrain take it, so a send can never race the close. It also
+	// guards the lifecycle state.
+	queueMu sync.Mutex
+	queue   chan *job
+	state   lifeState
 
 	jobsMu sync.Mutex
 	jobs   map[string]*job
-	order  []string // insertion order, for listing and eviction
+	order  []string          // insertion order, for listing and eviction
+	keys   map[string]string // idempotency key -> job id
 	nextID int
+
+	// jrnl is the durable job log (nil without -journal). crashed is the
+	// test hook that simulates a SIGKILL: once set, nothing more is
+	// journaled, so the file holds exactly what was durable at the "crash".
+	jrnl    *journal.Journal
+	crashed atomic.Bool
 
 	// runCtx is the ancestor of every job context; runCancel hard-stops
 	// in-flight jobs when the drain deadline passes.
@@ -104,15 +162,23 @@ type Server struct {
 	listener net.Listener
 }
 
-// New builds a Server; Start or Run actually serves.
-func New(cfg Config) *Server {
+// New builds a Server, replaying the journal when one is configured;
+// Start or Run actually serves.
+func New(cfg Config) (*Server, error) {
 	s := newServer(cfg)
+	if s.cfg.JournalDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	s.startWorkers()
-	return s
+	return s, nil
 }
 
-// newServer builds everything but the worker pool. Tests use it directly
-// so the queue fills deterministically with nothing draining it.
+// newServer builds everything but the worker pool and journal. Tests use
+// it directly so the queue fills deterministically with nothing draining
+// it; with a JournalDir configured the server starts in the replaying
+// state and openJournal flips it to ready.
 func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -121,11 +187,33 @@ func newServer(cfg Config) *Server {
 		met:   newMetrics(cfg.Registry),
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
+		keys:  make(map[string]string),
+	}
+	if cfg.JournalDir == "" {
+		s.state = lifeReady
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s
+}
+
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
+// lifecycle reports the current state.
+func (s *Server) lifecycle() lifeState {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	return s.state
+}
+
+// setState transitions the lifecycle; draining is terminal.
+func (s *Server) setState(l lifeState) {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if s.state != lifeDraining {
+		s.state = l
+	}
 }
 
 func (s *Server) startWorkers() {
@@ -204,7 +292,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		httpCtx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 	}
-	return s.httpSrv.Shutdown(httpCtx)
+	err := s.httpSrv.Shutdown(httpCtx)
+	if s.jrnl != nil {
+		if jerr := s.jrnl.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// Crash simulates a SIGKILL for the robustness tests: journaling stops
+// dead (nothing after the last durable record lands), in-flight jobs are
+// hard-cancelled, and the listener closes without any drain courtesy. The
+// journal directory afterwards holds exactly what a kill -9 at that
+// instant would have left.
+func (s *Server) Crash() {
+	s.crashed.Store(true)
+	s.beginDrain()
+	s.runCancel()
+	s.workerWG.Wait()
+	if s.jrnl != nil {
+		s.jrnl.Close()
+	}
+	s.httpSrv.Close()
 }
 
 // beginDrain flips the server to draining and closes the queue so workers
@@ -213,25 +323,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) beginDrain() {
 	s.queueMu.Lock()
 	defer s.queueMu.Unlock()
-	if s.draining {
+	if s.state == lifeDraining {
 		return
 	}
-	s.draining = true
+	s.state = lifeDraining
 	close(s.queue)
 }
 
 // enqueue admits a job or reports why not: errDraining during shutdown,
-// errQueueFull when the bounded queue is at capacity.
+// errReplaying while the journal replay still owns the queue, errQueueFull
+// when the bounded queue is at capacity.
 var (
 	errDraining  = errors.New("server is draining")
+	errReplaying = errors.New("journal replay in progress")
 	errQueueFull = errors.New("job queue is full")
 )
 
 func (s *Server) enqueue(j *job) error {
 	s.queueMu.Lock()
 	defer s.queueMu.Unlock()
-	if s.draining {
+	switch s.state {
+	case lifeDraining:
 		return errDraining
+	case lifeReplaying:
+		return errReplaying
 	}
 	select {
 	case s.queue <- j:
@@ -243,21 +358,35 @@ func (s *Server) enqueue(j *job) error {
 }
 
 // register tracks a new job record, evicting the oldest terminal record if
-// the registry is full.
-func (s *Server) register(spec Spec) *job {
+// the registry is full. With a non-empty idempotency key, a concurrent or
+// earlier submission under the same key wins: register returns that job
+// with existing=true and records nothing new — the check and the insert
+// share one critical section so two racing same-key submissions can never
+// both run.
+func (s *Server) register(spec Spec, key string) (j *job, existing bool) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
+	if key != "" {
+		if id, ok := s.keys[key]; ok {
+			return s.jobs[id], true
+		}
+	}
 	s.nextID++
-	j := &job{
+	j = &job{
 		id:      fmt.Sprintf("job-%d", s.nextID),
 		spec:    spec,
+		key:     key,
 		created: time.Now(),
 		status:  StatusQueued,
 		buf:     newResultBuffer(s.cfg.MaxResultBytes),
+		track:   s.jrnl != nil,
 	}
 	if len(s.order) >= s.cfg.MaxJobs {
 		for i, id := range s.order {
 			if st, _ := s.jobs[id].snapshot(); st.terminal() {
+				if k := s.jobs[id].key; k != "" {
+					delete(s.keys, k)
+				}
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				break
@@ -266,7 +395,28 @@ func (s *Server) register(spec Spec) *job {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	return j
+	if key != "" {
+		s.keys[key] = j.id
+	}
+	return j, false
+}
+
+// unregister removes a job that never made it past admission (journal
+// write failure), so a retry under the same idempotency key gets a clean
+// slate instead of the dead record.
+func (s *Server) unregister(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if j.key != "" {
+		delete(s.keys, j.key)
+	}
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 }
 
 func (s *Server) lookup(id string) (*job, bool) {
@@ -313,6 +463,7 @@ func (s *Server) runJob(j *job) {
 		// Cancelled while queued; requestCancel already finished it.
 		return
 	}
+	s.journalState(j, StatusRunning, "")
 	s.met.inflightDelta(1)
 	err := s.dispatch(ctx, j)
 	s.met.inflightDelta(-1)
@@ -331,21 +482,40 @@ func (s *Server) runJob(j *job) {
 		st = StatusFailed
 	}
 	j.finish(StatusRunning, st, err)
+	s.journalFinish(j)
 	s.met.jobFinished(st)
 }
 
 // dispatch routes a job to its runner. The emit closure funnels every
-// result line through the job's buffer; a full buffer fails the job.
-func (s *Server) dispatch(ctx context.Context, j *job) error {
+// result line through the job's buffer; a full buffer fails the job. A
+// panicking runner is contained here: the job fails with the panic message
+// in its result and the worker pool keeps serving.
+func (s *Server) dispatch(ctx context.Context, j *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+			s.met.panics.Inc()
+		}
+	}()
+	if s.cfg.Chaos.Fire("job.panic") {
+		panic("chaos: injected worker panic")
+	}
+	s.cfg.Chaos.Stall(ctx, "job.stall", s.cfg.JobTimeout)
+
+	env := runEnv{
+		emit:            j.emit,
+		ckpt:            s.checkpointer(j),
+		checkpointEvery: s.cfg.CheckpointEvery,
+	}
 	switch j.spec.Type {
 	case TypeRoadmap:
-		return runRoadmap(ctx, j.spec, j.emit)
+		return runRoadmap(ctx, j.spec, env)
 	case TypeFigure4:
-		return runFigure4(ctx, j.spec, j.emit)
+		return runFigure4(ctx, j.spec, env)
 	case TypeDTM:
-		return runDTM(ctx, j.spec, j.emit)
+		return runDTM(ctx, j.spec, env)
 	case TypeRAID:
-		return runRAID(ctx, j.spec, j.emit)
+		return runRAID(ctx, j.spec, env)
 	default:
 		return fmt.Errorf("unknown job type %q", j.spec.Type)
 	}

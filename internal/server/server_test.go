@@ -25,6 +25,16 @@ func testConfig() Config {
 	}
 }
 
+// mustNew builds a fully-started server (workers running) or fails the test.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	return s
+}
+
 func smallRoadmapSpec() string {
 	return `{"type":"roadmap","roadmap":{"first_year":2002,"last_year":2003,"platter_sizes":[2.6]}}`
 }
@@ -74,7 +84,7 @@ func TestSpecValidation(t *testing.T) {
 }
 
 func TestSyncJobStreamsNDJSON(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer s.Shutdown(context.Background())
 
 	w := postJob(t, s.Handler(), smallRoadmapSpec(), "")
@@ -110,7 +120,7 @@ func TestSyncJobStreamsNDJSON(t *testing.T) {
 }
 
 func TestBadSpecRejected(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer s.Shutdown(context.Background())
 
 	for _, body := range []string{
@@ -206,7 +216,7 @@ func TestUnknownJob404(t *testing.T) {
 }
 
 func TestHealthReadyMetrics(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 
 	get := func(path string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
@@ -250,7 +260,7 @@ func TestHealthReadyMetrics(t *testing.T) {
 func TestShutdownCancelsRunningJobs(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 
 	// A large dtm run: long enough to still be in flight at shutdown.
 	body := `{"type":"dtm","dtm":{"policy":"envelope","requests":100000}}`
@@ -298,10 +308,10 @@ func TestJobEviction(t *testing.T) {
 	cfg.MaxJobs = 2
 	s := newServer(cfg)
 
-	a := s.register(Spec{Type: TypeRoadmap})
+	a, _ := s.register(Spec{Type: TypeRoadmap}, "")
 	a.finish(StatusQueued, StatusCancelled, nil)
-	s.register(Spec{Type: TypeRoadmap})
-	s.register(Spec{Type: TypeRoadmap})
+	s.register(Spec{Type: TypeRoadmap}, "")
+	s.register(Spec{Type: TypeRoadmap}, "")
 	if _, ok := s.lookup(a.id); ok {
 		t.Fatal("oldest terminal job should have been evicted")
 	}

@@ -1,0 +1,25 @@
+package sim
+
+// Checkpointer receives progress marks from long streaming runs so a
+// supervisor can persist resumable state. Runners call Checkpoint at
+// deterministic positions on the sim timeline (a completion count, a sweep
+// index) — never on wall-clock — so the marks land at the same points on
+// every replay of a seeded run. Implementations must tolerate being called
+// from the run's own goroutine and should be cheap relative to the work
+// between marks; the service's implementation group-commits the result
+// lines emitted since the previous mark to its journal.
+//
+// A nil Checkpointer means checkpointing is off; callers guard with a
+// single nil check, mirroring the obs tracer convention.
+type Checkpointer interface {
+	// Checkpoint marks that everything emitted up to position pos is ready
+	// to be made durable. pos is advisory (a monotonic count in run-defined
+	// units); implementations may ignore it.
+	Checkpoint(pos int64)
+}
+
+// CheckpointFunc adapts a function to a Checkpointer.
+type CheckpointFunc func(pos int64)
+
+// Checkpoint implements Checkpointer.
+func (f CheckpointFunc) Checkpoint(pos int64) { f(pos) }
