@@ -75,7 +75,10 @@ func run(addr string, jobs, concurrency int, specJSON string, timeout time.Durat
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	if err := c.Ready(ctx); err != nil {
+	// Ready is a deliberate single-shot probe (it must not trip the
+	// breaker), so poll it here: a daemon still replaying its journal
+	// answers 503 until the replay finishes.
+	if err := waitReady(ctx, c, 10*time.Second); err != nil {
 		return fmt.Errorf("daemon not ready: %w", err)
 	}
 
@@ -121,4 +124,25 @@ func run(addr string, jobs, concurrency int, specJSON string, timeout time.Durat
 		return fmt.Errorf("%d of %d jobs did not complete", int64(jobs)-done.Load(), jobs)
 	}
 	return nil
+}
+
+// waitReady polls the single-shot readiness probe until the daemon reports
+// ready, budget elapses, or ctx ends. Transport errors and 503s both mean
+// "keep waiting": the daemon may still be binding or replaying its journal.
+func waitReady(ctx context.Context, c *client.Client, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		err := c.Ready(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return err
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return err
+		}
+	}
 }

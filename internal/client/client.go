@@ -419,9 +419,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve
 
 // Ready reports nil when the daemon answers /readyz with 200 ("ok
 // state=ready"); a 503 comes back as a StatusError whose body carries the
-// state= field (replaying vs draining).
+// state= field (replaying vs draining). The probe is a single attempt that
+// bypasses the retry schedule and the circuit breaker: "not ready yet" is
+// the expected answer while a daemon replays its journal or drains, and a
+// polling caller must neither burn MaxAttempts of backoff per poll nor
+// open the breaker and fail unrelated calls with ErrCircuitOpen.
 func (c *Client) Ready(ctx context.Context) error {
-	resp, err := c.do(ctx, "GET", "/readyz", nil, nil, true)
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err
 	}

@@ -217,6 +217,49 @@ func TestContextCancelsBackoff(t *testing.T) {
 	}
 }
 
+// TestReadySingleProbeOutsideBreaker: Ready is a readiness poll, not a
+// request — a daemon that answers 503 while replaying or draining must not
+// consume retry attempts, and however often it is polled it must never
+// open the circuit breaker and fail unrelated calls with ErrCircuitOpen.
+func TestReadySingleProbeOutsideBreaker(t *testing.T) {
+	var readyz atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			readyz.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "unavailable state=replaying", http.StatusServiceUnavailable)
+			return
+		}
+		writeInfo(w, http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{
+		Retry:   fastRetry(),
+		Breaker: BreakerPolicy{Threshold: 2, Cooldown: time.Hour},
+		Seed:    1,
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ { // well past the breaker threshold
+		err := c.Ready(ctx)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+			t.Fatalf("Ready = %v, want 503 StatusError", err)
+		}
+		if !strings.Contains(se.Body, "state=replaying") {
+			t.Fatalf("Ready error body %q lost the state field", se.Body)
+		}
+	}
+	// One HTTP round-trip per poll: no retry amplification.
+	if got := readyz.Load(); got != 10 {
+		t.Fatalf("10 polls hit /readyz %d times, want 10", got)
+	}
+	// The breaker never opened: an unrelated call still reaches the server.
+	if _, err := c.Job(ctx, "job-1"); err != nil {
+		t.Fatalf("call after readiness polling = %v, want success (breaker must stay closed)", err)
+	}
+}
+
 // TestClientAgainstRealServer exercises the full loop against an actual
 // simd server: async submit with a key, wait, fetch the result, and dedupe
 // a duplicate submission.

@@ -67,10 +67,14 @@ type Journal struct {
 }
 
 type request struct {
-	frame   []byte // append: one framed record
-	compact []Record
-	isComp  bool
-	done    chan error
+	frame []byte // append: one framed record
+	// live is a compaction request's record source. It is a function, not a
+	// snapshot: the committer calls it when the request is dequeued — after
+	// every append acknowledged before this point has been committed — so an
+	// acked record can never fall in the gap between snapshot and rewrite.
+	live   func() []Record
+	isComp bool
+	done   chan error
 }
 
 // ErrClosed is returned by Append after Close.
@@ -95,9 +99,16 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 	}
 	recs, good, scanErr := scanRecords(data)
 	if scanErr != nil {
-		// A torn or corrupt suffix is a crash artifact: drop it. Everything
-		// before it was fsync-acknowledged and stays.
-		opts.logf("journal: dropping %d bytes after offset %d: %v", len(data)-good, good, scanErr)
+		// Only a torn tail — a frame the crash cut short, which by
+		// construction consumes every remaining byte — may be dropped:
+		// everything before it was fsync-acknowledged and stays. Corruption
+		// (CRC mismatch, absurd length, invalid JSON) means bytes that are
+		// present but wrong; truncating there would silently delete every
+		// acknowledged record after the damage, so Open refuses instead.
+		if !errors.Is(scanErr, ErrTorn) {
+			return nil, nil, fmt.Errorf("journal: %s holds %d corrupt or unreadable bytes at offset %d (%w); refusing to open rather than drop acknowledged history — repair or move the file aside", path, len(data)-good, good, scanErr)
+		}
+		opts.logf("journal: dropping %d-byte torn tail at offset %d: %v", len(data)-good, good, scanErr)
 	}
 
 	raw, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
@@ -167,7 +178,14 @@ func (j *Journal) Append(rec Record) error {
 // fsync, rename). Records dropped relative to the current log are logged;
 // an all-kept compaction is silent.
 func (j *Journal) Compact(live []Record) error {
-	req := request{compact: live, isComp: true, done: make(chan error, 1)}
+	return j.compactWith(func() []Record { return live })
+}
+
+// compactWith queues a compaction whose record set is resolved by the
+// committer at dequeue time. The timer loop passes Options.Live directly so
+// the snapshot always post-dates every acknowledged append.
+func (j *Journal) compactWith(live func() []Record) error {
+	req := request{live: live, isComp: true, done: make(chan error, 1)}
 	if err := j.send(req); err != nil {
 		return err
 	}
@@ -207,7 +225,7 @@ func (j *Journal) committer() {
 	defer close(j.done)
 	for req := range j.ch {
 		if req.isComp {
-			req.done <- j.doCompact(req.compact)
+			req.done <- j.doCompact(req.live())
 			continue
 		}
 		batch := []request{req}
@@ -219,9 +237,11 @@ func (j *Journal) committer() {
 					break fill
 				}
 				if next.isComp {
+					// Commit the pending appends first: live() must see the
+					// world after everything acknowledged ahead of it.
 					j.commit(batch)
 					batch = batch[:0]
-					next.done <- j.doCompact(next.compact)
+					next.done <- j.doCompact(next.live())
 					continue fill
 				}
 				batch = append(batch, next)
@@ -381,7 +401,7 @@ func (j *Journal) compactLoop() {
 	for {
 		select {
 		case <-tick.C:
-			_ = j.Compact(j.opts.Live())
+			_ = j.compactWith(j.opts.Live)
 		case <-j.stopTick:
 			return
 		}

@@ -130,7 +130,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	// Durability before acknowledgement: a job the client saw accepted must
 	// survive a crash, so the submit record lands before the queue does.
 	if err := s.journalSubmit(j); err != nil {
-		s.unregister(j)
+		s.rejectUnjournaled(j, err)
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		jsonError(w, http.StatusServiceUnavailable, "journal unavailable: "+err.Error())
 		return

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +59,13 @@ func (s *Server) replayRecords(recs []journal.Record) {
 	for _, rec := range recs {
 		switch rec.Kind {
 		case journal.KindSubmit:
+			if _, ok := s.jobs[rec.Job]; ok {
+				// A compaction snapshot can race a submit whose append was
+				// still in the committer queue: both land, so the same job
+				// has two submit records. Keep the first; re-creating it
+				// would duplicate the registry entry.
+				continue
+			}
 			var spec Spec
 			if err := json.Unmarshal(rec.Spec, &spec); err != nil {
 				s.logf("simd: journal: dropping job %s with undecodable spec: %v", rec.Job, err)
@@ -129,28 +135,31 @@ func (s *Server) replayRecords(recs []journal.Record) {
 		if j.skip > 0 {
 			s.met.jobsResumed.Inc()
 		}
-		if err := s.enqueueReplayed(j); err != nil {
-			j.finish(StatusQueued, StatusFailed,
-				fmt.Errorf("not re-admitted after restart: %v", err))
-			s.journalFinish(j)
-		}
+		s.enqueueReplayed(j)
 	}
 }
 
 // enqueueReplayed admits a replayed job even though the server is still in
 // the replaying state (external submissions are rejected until ready).
-func (s *Server) enqueueReplayed(j *job) error {
+// These jobs are acknowledged, journaled work, so queue capacity can never
+// fail them: overflow waits in the backlog and workers admit it as slots
+// free up. Only a drain racing the replay cancels them.
+func (s *Server) enqueueReplayed(j *job) {
 	s.queueMu.Lock()
-	defer s.queueMu.Unlock()
 	if s.state == lifeDraining {
-		return errDraining
+		s.queueMu.Unlock()
+		if j.finish(StatusQueued, StatusCancelled, errDraining) {
+			s.met.jobFinished(StatusCancelled)
+			s.journalFinish(j)
+		}
+		return
 	}
+	defer s.queueMu.Unlock()
 	select {
 	case s.queue <- j:
 		s.met.queueDelta(1)
-		return nil
 	default:
-		return errQueueFull
+		s.backlog = append(s.backlog, j)
 	}
 }
 

@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/journal"
 )
 
 // submitAsync posts a spec with ?async=1 (optionally with an idempotency
@@ -246,6 +249,113 @@ func TestJournalPersistence(t *testing.T) {
 	w3, info3 := submitAsync(t, s2, smallRoadmapSpec(), "")
 	if w3.Code != http.StatusAccepted || info3.ID == info.ID {
 		t.Fatalf("fresh submit: %d job %s collides with %s", w3.Code, info3.ID, info.ID)
+	}
+}
+
+// TestReplayOverflowBacklog: a crash can leave far more non-terminal jobs
+// in the journal than the bounded queue holds. They are acknowledged work,
+// so restart must not fail the overflow — it waits in the backlog and runs
+// as workers free queue slots, while new submissions yield with 429.
+func TestReplayOverflowBacklog(t *testing.T) {
+	dir := t.TempDir()
+	// Seed a journal directly with 10 queued submits — no server involved,
+	// so nothing can drain them before the restart under test.
+	jrnl, _, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := json.RawMessage(smallRoadmapSpec())
+	const n = 10
+	for i := 1; i <= n; i++ {
+		rec := journal.Record{
+			Kind: journal.KindSubmit,
+			Job:  fmt.Sprintf("job-%d", i),
+			Key:  fmt.Sprintf("overflow-%d", i),
+			Spec: spec,
+		}
+		if err := jrnl.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jrnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.JournalDir = dir
+	cfg.QueueDepth = 2 // far below the journaled job count
+	cfg.Workers = 1
+	s := mustNew(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if st := waitStatus(t, s, id); st != StatusDone {
+			j, _ := s.lookup(id)
+			_, errMsg := j.snapshot()
+			t.Fatalf("replayed job %s = %q (%s), want done", id, st, errMsg)
+		}
+	}
+	if got := s.met.jobsReplayed.Value(); got != n {
+		t.Fatalf("jobsReplayed = %d, want %d", got, n)
+	}
+}
+
+// TestJournalFailureUnblocksAttacher: register publishes the key→job
+// binding before the journal append runs, so a concurrent same-key
+// submission can attach to the job and block on its result stream. If the
+// journal append then fails, backing the job out must close its buffer so
+// the attacher unblocks with the failure instead of hanging until its own
+// context dies — while the key itself is freed for a clean retry.
+func TestJournalFailureUnblocksAttacher(t *testing.T) {
+	cfg := testConfig()
+	cfg.JournalDir = t.TempDir()
+	s := mustNew(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	var spec Spec
+	if err := json.Unmarshal([]byte(smallRoadmapSpec()), &spec); err != nil {
+		t.Fatal(err)
+	}
+	j, existing := s.register(spec, "attach-key")
+	if existing {
+		t.Fatal("fresh key reported existing")
+	}
+	// The attacher: a second submission that found the binding and is now
+	// waiting for the job's first result line.
+	j2, existing2 := s.register(spec, "attach-key")
+	if !existing2 || j2 != j {
+		t.Fatalf("attacher got job %v existing=%v, want the original", j2, existing2)
+	}
+	unblocked := make(chan bool, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		unblocked <- j2.buf.waitFirst(ctx)
+	}()
+
+	// The first submission's journal append fails.
+	s.rejectUnjournaled(j, errors.New("injected append failure"))
+
+	select {
+	case ok := <-unblocked:
+		if !ok {
+			t.Fatal("attacher timed out instead of observing the failure")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("attacher still blocked after rejectUnjournaled")
+	}
+	if st, errMsg := j.snapshot(); st != StatusFailed || !strings.Contains(errMsg, "journal unavailable") {
+		t.Fatalf("backed-out job = %q (%s), want failed with journal error", st, errMsg)
+	}
+	// The buffer carries the in-band error line and is closed.
+	if lines, _ := j.buf.stats(); lines == 0 {
+		t.Fatal("backed-out job has no in-band error line")
+	}
+	// The key is free: a retry gets a fresh job, not the dead record.
+	j3, existing3 := s.register(spec, "attach-key")
+	if existing3 || j3 == j {
+		t.Fatal("retry under the failed key did not get a clean slate")
 	}
 }
 

@@ -135,10 +135,16 @@ type Server struct {
 
 	// queueMu guards queue sends against close(queue): enqueue and
 	// beginDrain take it, so a send can never race the close. It also
-	// guards the lifecycle state.
+	// guards the lifecycle state and the replay backlog.
 	queueMu sync.Mutex
 	queue   chan *job
 	state   lifeState
+
+	// backlog holds replayed jobs that did not fit the bounded queue at
+	// startup. They are acknowledged, journaled work and must not be failed
+	// for a capacity accident: workers admit them as slots free up, and
+	// external submissions yield (429) until the backlog is empty.
+	backlog []*job
 
 	jobsMu sync.Mutex
 	jobs   map[string]*job
@@ -319,15 +325,27 @@ func (s *Server) Crash() {
 
 // beginDrain flips the server to draining and closes the queue so workers
 // exit once it is empty. Queued-but-never-run jobs are finished by the
-// worker loop (or by Shutdown's cancel path).
+// worker loop (or by Shutdown's cancel path); backlog jobs that never got
+// a queue slot are cancelled here — still journaled, so a restart with a
+// fresh queue re-runs them from their checkpoints.
 func (s *Server) beginDrain() {
 	s.queueMu.Lock()
-	defer s.queueMu.Unlock()
 	if s.state == lifeDraining {
+		s.queueMu.Unlock()
 		return
 	}
 	s.state = lifeDraining
+	backlog := s.backlog
+	s.backlog = nil
 	close(s.queue)
+	s.queueMu.Unlock()
+
+	for _, j := range backlog {
+		if j.finish(StatusQueued, StatusCancelled, errDraining) {
+			s.met.jobFinished(StatusCancelled)
+			s.journalFinish(j)
+		}
+	}
 }
 
 // enqueue admits a job or reports why not: errDraining during shutdown,
@@ -348,12 +366,39 @@ func (s *Server) enqueue(j *job) error {
 	case lifeReplaying:
 		return errReplaying
 	}
+	if len(s.backlog) > 0 {
+		// Replayed (already-acknowledged) jobs own every freed slot until
+		// the backlog drains; new work is told to retry.
+		return errQueueFull
+	}
 	select {
 	case s.queue <- j:
 		s.met.queueDelta(1)
 		return nil
 	default:
 		return errQueueFull
+	}
+}
+
+// admitBacklog moves replayed jobs from the backlog into the queue while
+// slots are free. Workers call it each time they take a job (freeing a
+// slot); enqueue keeps external submissions out until the backlog is empty,
+// so the backlog always makes progress.
+func (s *Server) admitBacklog() {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if s.state == lifeDraining {
+		return // queue is closed; beginDrain already settled the backlog
+	}
+	for len(s.backlog) > 0 {
+		select {
+		case s.queue <- s.backlog[0]:
+			s.met.queueDelta(1)
+			s.backlog[0] = nil
+			s.backlog = s.backlog[1:]
+		default:
+			return
+		}
 	}
 }
 
@@ -419,6 +464,18 @@ func (s *Server) unregister(j *job) {
 	}
 }
 
+// rejectUnjournaled backs out a job whose admission record could not be
+// made durable. register published the key→job binding before the journal
+// append ran, so another same-key submission may already be streaming this
+// job: unregister first (a fresh retry gets a clean slate, not the dead
+// record), then finish the job as failed — which emits the in-band error
+// line and closes the result buffer, so any attacher unblocks with the
+// failure instead of waiting forever on a job that will never be enqueued.
+func (s *Server) rejectUnjournaled(j *job, cause error) {
+	s.unregister(j)
+	j.finish(StatusQueued, StatusFailed, fmt.Errorf("journal unavailable: %v", cause))
+}
+
 func (s *Server) lookup(id string) (*job, bool) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
@@ -440,11 +497,14 @@ func (s *Server) list() []Info {
 	return infos
 }
 
-// worker drains the queue until beginDrain closes it.
+// worker drains the queue until beginDrain closes it. Each take frees a
+// queue slot, so it is also the moment a replay-backlog job can be
+// admitted.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.queue {
 		s.met.queueDelta(-1)
+		s.admitBacklog()
 		s.runJob(j)
 	}
 }
