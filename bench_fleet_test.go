@@ -1,0 +1,53 @@
+package repro
+
+// Fleet-scale benchmarks (results in BENCH_fleet.json): the sharded fleet
+// run sequentially and fanned out over the shard pool, on the same seeded
+// configuration. allocs/op is the contract under test — the streaming
+// window keeps live state at O(in-flight chassis), so allocations must not
+// grow with worker count, and the parallel run must reproduce the
+// sequential aggregates exactly (the bit-identity contract).
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// benchFleetConfig is the benchmark fleet: 8 racks x 4 chassis x 8 slots =
+// 256 drives with recirculation and a rack-local cooling failure, big
+// enough that sharding matters and every coupling path is exercised.
+func benchFleetConfig(workers int) fleet.Config {
+	return fleet.Config{
+		Topology:  fleet.Topology{Racks: 8, ChassisPerRack: 4, SlotsPerChassis: 8},
+		Scenario:  fleet.Scenario{AirflowCFM: 30, Recirculation: 0.2},
+		Workload:  fleet.Workload{RequestsPerDrive: 30, Seed: 17},
+		Placement: fleet.PlaceCoolest,
+		Migration: fleet.Migration{ThresholdC: 31, HysteresisC: 0.5},
+		Workers:   workers,
+	}
+}
+
+func benchFleetRun(b *testing.B, workers int) {
+	cfg := benchFleetConfig(workers)
+	var sum fleet.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = fleet.Run(context.Background(), cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.HottestAirC, "hottest-C")
+	b.ReportMetric(float64(sum.Requests), "requests")
+}
+
+// BenchmarkFleetRun is the sequential baseline: every chassis shard on one
+// goroutine, merges in topology order.
+func BenchmarkFleetRun(b *testing.B) { benchFleetRun(b, 1) }
+
+// BenchmarkFleetRunParallel fans the same fleet out over the shard pool;
+// the reported aggregates must match the sequential run exactly.
+func BenchmarkFleetRunParallel(b *testing.B) { benchFleetRun(b, 0) }

@@ -1,7 +1,7 @@
 // Command simd serves the simulator as a long-running service: roadmap
-// sweeps, Figure-4 trace replays, DTM policy runs and RAID recovery
-// scenarios submitted as HTTP/JSON jobs, executed on a bounded worker pool
-// and streamed back as NDJSON. SIGINT/SIGTERM drain gracefully: no new
+// sweeps, Figure-4 trace replays, DTM policy runs, RAID recovery
+// scenarios and fleet-scale datacenter simulations submitted as HTTP/JSON
+// jobs, executed on a bounded worker pool and streamed back as NDJSON. SIGINT/SIGTERM drain gracefully: no new
 // jobs, in-flight work gets -drain-timeout to finish, metrics flush, exit 0.
 //
 // With -journal DIR the daemon is crash-safe: every admission, progress
@@ -33,6 +33,8 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline ceiling")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
 		maxRequests  = flag.Int("max-requests", 200000, "per-job trace-length cap")
+		maxFleet     = flag.Int("max-fleet-drives", 1000000, "fleet-job total drive cap")
+		maxSyncFleet = flag.Int("max-sync-fleet-drives", 20000, "largest fleet job accepted without ?async=1")
 		metricsOut   = flag.String("metrics-out", "", "write a final metrics snapshot here on shutdown")
 
 		journalDir  = flag.String("journal", "", "journal directory for crash-safe jobs (empty = in-memory only)")
@@ -42,15 +44,17 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:            *addr,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		JobTimeout:      *jobTimeout,
-		DrainTimeout:    *drainTimeout,
-		MaxRequests:     *maxRequests,
-		JournalDir:      *journalDir,
-		CheckpointEvery: *ckptEvery,
-		CompactEvery:    *compactEach,
+		Addr:               *addr,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		JobTimeout:         *jobTimeout,
+		DrainTimeout:       *drainTimeout,
+		MaxRequests:        *maxRequests,
+		MaxFleetDrives:     *maxFleet,
+		MaxSyncFleetDrives: *maxSyncFleet,
+		JournalDir:         *journalDir,
+		CheckpointEvery:    *ckptEvery,
+		CompactEvery:       *compactEach,
 	}
 	if err := run(cfg, *addrFile, *drainTimeout, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)

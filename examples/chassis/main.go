@@ -1,9 +1,12 @@
-// Chassis: the paper's per-drive thermal envelope meets the rack. Six
-// drives share one airstream in a storage bay; downstream slots breathe
-// preheated air, so placement and airflow determine whether the array as a
-// whole respects the 45.22 C envelope (the disk-array thermal-design concern
-// the paper cites). This example sizes the airflow, finds the best slot
-// ordering for a mixed bay, and reports the warmest inlet the bay tolerates.
+// Chassis: the paper's per-drive thermal envelope meets the rack. Drives
+// share one cooling airstream in a storage bay, so downstream slots breathe
+// preheated air, and stacked chassis re-ingest part of each other's exhaust
+// — the disk-array thermal-design concern the paper cites. The single-bay
+// steady-state API lives in internal/array (now a thin wrapper over the
+// internal/fleet coupling core); the rack-level ladder comes from
+// fleet.PreviewFleet. This example sizes the airflow for a mixed bay, finds
+// the best slot ordering (exhaustive up to 8 slots, greedy beyond), and
+// climbs a recirculating rack to show where the envelope gives out.
 //
 // Run with:
 //
@@ -15,6 +18,7 @@ import (
 	"log"
 
 	"repro/internal/array"
+	"repro/internal/fleet"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -55,7 +59,26 @@ func main() {
 	fmt.Printf("  hottest air: %.2f C as racked vs %.2f C optimally placed\n",
 		float64(array.HottestAir(base)), float64(array.HottestAir(best)))
 
-	// What inlet temperature can the optimally-placed bay tolerate?
+	// Dense cages go beyond the exhaustive search: a 12-slot bay switches
+	// to the greedy biggest-risers-upstream heuristic (no more factorial).
+	big := make([]array.Slot, 12)
+	for i := range big {
+		big[i] = mk(10000, 0.2)
+	}
+	big[10], big[11] = mk(15000, 1), mk(15000, 1)
+	bigPerm, bigBest, err := array.OptimalOrder(array.Chassis{Inlet: thermal.DefaultAmbient, AirflowCFM: 25}, big)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bigBase, err := array.Evaluate(array.Chassis{Inlet: thermal.DefaultAmbient, AirflowCFM: 25}, big)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTwelve-slot cage (greedy placement, hot drives %v -> front):\n", bigPerm[:2])
+	fmt.Printf("  hottest air: %.2f C as racked vs %.2f C greedily placed\n",
+		float64(array.HottestAir(bigBase)), float64(array.HottestAir(bigBest)))
+
+	// What inlet temperature can the optimally-placed six-drive bay take?
 	ordered := make([]array.Slot, len(perm))
 	for i, idx := range perm {
 		ordered[i] = bay[idx]
@@ -64,7 +87,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  warmest tolerable inlet for the optimal order: %.2f C\n", float64(maxInlet))
-	fmt.Println("\nLesson: a drive designed exactly to the envelope needs either")
-	fmt.Println("airflow headroom or a cooler inlet the moment it shares a chassis.")
+	fmt.Printf("\nWarmest tolerable inlet for the optimal six-drive order: %.2f C\n", float64(maxInlet))
+
+	// Stack chassis into a rack: with hot-aisle recirculation, the upper
+	// chassis breathe the lower ones' exhaust. fleet.PreviewFleet solves
+	// the whole ladder at the design point.
+	cfg := fleet.Config{
+		Topology: fleet.Topology{Racks: 1, ChassisPerRack: 5, SlotsPerChassis: 6},
+		Scenario: fleet.Scenario{AirflowCFM: 15, Recirculation: 0.3},
+		GenYears: []int{2005},
+	}
+	preview, err := fleet.PreviewFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOne rack, five chassis, 30% exhaust recirculation (2005 drives, full duty):")
+	for ch := 0; ch < cfg.Topology.ChassisPerRack; ch++ {
+		var inlet, hottest units.Celsius
+		ok := true
+		for _, d := range preview {
+			if d.Chassis != ch {
+				continue
+			}
+			if d.Slot == 0 {
+				inlet = d.Ambient
+			}
+			if d.Air > hottest {
+				hottest = d.Air
+			}
+			ok = ok && d.WithinEnvelope
+		}
+		fmt.Printf("  chassis %d: inlet %.2f C, hottest drive %.2f C, within envelope: %v\n",
+			ch, float64(inlet), float64(hottest), ok)
+	}
+
+	fmt.Println("\nLesson: a drive designed exactly to the envelope needs airflow")
+	fmt.Println("headroom, a cooler inlet, or a better slot the moment it shares a")
+	fmt.Println("chassis — and a better rack the moment chassis share a room.")
 }

@@ -1,9 +1,13 @@
-// Datacenter cooling what-if: a storage planner wants to know what buying
-// colder machine-room air is worth in drive performance and capacity over
-// the next decade — the paper's Figure 3 question, asked the way an operator
-// would. The felt-performance section replays a seeded OLTP stream against
-// each option's envelope-limited drive on the event engine, summarising with
-// the O(1) streaming accumulators instead of collecting the trace.
+// Datacenter thermal what-if: a storage operator runs a mixed-generation
+// drive fleet — racks of chassis sharing cooling air — and wants to know
+// what a CRAC failure costs, and what dynamic thermal management buys back.
+// internal/fleet simulates the whole room: every drive is a mechanical
+// disksim model co-advanced with its thermal transient, chassis shards fan
+// out over the worker pool, and rack summaries stream out in topology order
+// (byte-identical at any worker count). This example compares a calm
+// baseline against a mid-run cooling failure, then turns on
+// temperature-aware placement plus threshold migration and prices the
+// difference in heat, latency, and reliability exposure.
 //
 // Run with:
 //
@@ -11,126 +15,86 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
-	"repro/internal/capacity"
-	"repro/internal/disksim"
-	"repro/internal/dtm"
-	"repro/internal/scaling"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/thermal"
-	"repro/internal/units"
+	"repro/internal/fleet"
 )
 
 func main() {
-	fmt.Println("How many roadmap years does colder ambient air buy?")
-	fmt.Printf("(thermal envelope %v, 40%% IDR growth target, 1-platter drives)\n\n", thermal.Envelope)
-
-	type option struct {
-		label string
-		delta units.Celsius
+	base := fleet.Config{
+		// 6 racks x 4 chassis x 8 slots = 192 drives, generations 2002-2005
+		// assigned round-robin from the scaling roadmap.
+		Topology: fleet.Topology{Racks: 6, ChassisPerRack: 4, SlotsPerChassis: 8},
+		Scenario: fleet.Scenario{AirflowCFM: 25, Recirculation: 0.15},
+		Workload: fleet.Workload{RequestsPerDrive: 20, Seed: 42},
+		Workers:  4,
 	}
-	options := []option{
-		{"baseline machine room (28 C)", 0},
-		{"improved airflow (23 C)", -5},
-		{"chilled containment (18 C)", -10},
+	failure := &fleet.CoolingFailure{
+		Rack: 2, At: 200 * time.Millisecond, Duration: 4 * time.Second, DeltaC: 14,
 	}
 
-	// One 2005-density layout; only the envelope-limited spindle speed
-	// changes with the ambient.
-	geom := thermal.ReferenceDrive
-	bpi, tpi := scaling.DefaultTrend().Densities(2005)
-	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	fmt.Printf("Fleet: %d drives (%d racks x %d chassis x %d slots), 25 CFM, 15%% recirculation\n\n",
+		base.Topology.Drives(), base.Topology.Racks, base.Topology.ChassisPerRack,
+		base.Topology.SlotsPerChassis)
+
+	// Scenario 1: calm room, static placement.
+	calm := run("calm room, static placement", base, nil)
+
+	// Scenario 2: rack 2's CRAC feed fails for 4 s mid-run.
+	hot := base
+	hot.Scenario.CoolingFailure = failure
+	fmt.Println("\nCooling failure: rack 2 inlet +14 C for 4 s. Rack summaries stream")
+	fmt.Println("as each rack's chassis shards complete (topology order):")
+	failed := runStreaming("cooling failure, static placement", hot)
+
+	// Scenario 3: same failure, but the hottest streams start on the
+	// coolest slots and migration moves work off drives above 31 C.
+	managed := hot
+	managed.Placement = fleet.PlaceCoolest
+	managed.Migration = fleet.Migration{ThresholdC: 31, HysteresisC: 0.5}
+	dtm := run("\ncooling failure, coolest placement + 31 C migration", managed, nil)
+
+	fmt.Println("\nWhat management bought during the failure:")
+	fmt.Printf("  hottest drive air:   %.2f C -> %.2f C (calm %.2f C)\n",
+		failed.HottestAirC, dtm.HottestAirC, calm.HottestAirC)
+	fmt.Printf("  p99 drive max temp:  %.2f C -> %.2f C\n", failed.P99DriveMaxC, dtm.P99DriveMaxC)
+	fmt.Printf("  effective fleet AFR: %.4f -> %.4f (calm %.4f)\n",
+		failed.EffectiveAFR, dtm.EffectiveAFR, calm.EffectiveAFR)
+	fmt.Printf("  migrations fired:    %d\n", dtm.Migrations)
+	fmt.Printf("  mean latency:        %.2f ms -> %.2f ms\n", failed.MeanLatencyMS, dtm.MeanLatencyMS)
+
+	fmt.Println("\nLesson: the failure's heat lands on whichever drives the workload")
+	fmt.Println("happened to sit on; placement and migration decide whether the hot")
+	fmt.Println("minutes accrue on the fleet's weakest slots or its coolest ones.")
+}
+
+// run executes one scenario and prints its fleet-wide summary line.
+func run(label string, cfg fleet.Config, sink fleet.Sink) fleet.Summary {
+	sum, err := fleet.Run(context.Background(), cfg, sink)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	for _, opt := range options {
-		pts, err := scaling.Roadmap(scaling.Config{AmbientDelta: opt.delta})
-		if err != nil {
-			log.Fatal(err)
-		}
-		falloff := scaling.FalloffYear(pts)
-		best := scaling.BestIDR(pts)
-		idx := scaling.ByYearSize(pts)
-
-		fmt.Printf("%s\n", opt.label)
-		fmt.Printf("  roadmap holds through %d (falls off %d)\n", falloff-1, falloff)
-		fmt.Printf("  best attainable IDR in 2006: %.0f MB/s (target %.0f)\n",
-			float64(best[2006]), float64(scaling.TargetIDR(2006)))
-
-		// What platter size must the 2005 flagship use, and at what
-		// capacity cost?
-		year := 2005
-		var pick *scaling.Point
-		for _, size := range []units.Inches{2.6, 2.1, 1.6} {
-			p := idx[year][size]
-			if p.MeetsTarget {
-				pick = &p
-				break
-			}
-		}
-		if pick != nil {
-			fmt.Printf("  largest platter meeting the %d target: %v (%.0f GB per platter pair)\n",
-				year, pick.Size, pick.Capacity.GB())
-		} else {
-			fmt.Printf("  no platter size meets the %d target\n", year)
-		}
-
-		// What the cooling feels like in service: the fastest spindle the
-		// envelope allows at this ambient, fed a streamed OLTP workload.
-		slack, err := dtm.Slack([]units.Inches{2.6}, 1, thermal.DefaultAmbient+opt.delta)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rpm := slack[0].EnvelopeRPM
-		disk, err := disksim.New(disksim.Config{Layout: layout, RPM: rpm})
-		if err != nil {
-			log.Fatal(err)
-		}
-		var mean stats.Running
-		p95 := stats.MustP2(0.95)
-		err = disk.RunStream(sim.NewEngine(), oltpStream(layout.TotalSectors(), 20000),
-			sim.SinkFunc[disksim.Completion](func(c disksim.Completion) {
-				mean.Add(c.Response())
-				p95.Add(c.Response())
-			}))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  felt performance at the %.0f RPM envelope limit: mean %.2f ms, p95 %.1f ms\n",
-			float64(rpm), mean.Mean(), p95.Value())
-		fmt.Println()
-	}
-
-	fmt.Println("Rule of thumb from the model: every ~5 C of extra cooling buys")
-	fmt.Println("roughly one more year on the 40% data-rate roadmap — but the")
-	fmt.Println("terabit-era ECC cliff (2010) arrives regardless of airflow.")
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  %d requests, mean %.2f ms, p99 %.1f ms; hottest air %.2f C, "+
+		"violations %d, throttles %d, worst MTTDL %.0f h\n",
+		sum.Requests, sum.MeanLatencyMS, sum.P99LatencyMS, sum.HottestAirC,
+		sum.EnvelopeViolations, sum.ThrottleEvents, sum.WorstMTTDLHours)
+	return sum
 }
 
-// oltpStream lazily yields n seeded random 4 KB requests at 120/s (30%
-// writes); every call replays the identical sequence.
-func oltpStream(total int64, n int) sim.Source[disksim.Request] {
-	rng := rand.New(rand.NewSource(7))
-	now := 0.0
-	i := 0
-	return sim.SourceFunc[disksim.Request](func() (disksim.Request, bool) {
-		if i >= n {
-			return disksim.Request{}, false
+// runStreaming executes one scenario printing every rack summary as it
+// completes, the shape the simd fleet job streams over NDJSON.
+func runStreaming(label string, cfg fleet.Config) fleet.Summary {
+	return run(label, cfg, func(rs fleet.RackSummary) error {
+		mark := " "
+		if f := cfg.Scenario.CoolingFailure; f != nil && (f.Rack < 0 || f.Rack == rs.Rack) {
+			mark = "*"
 		}
-		now += rng.ExpFloat64() / 120
-		r := disksim.Request{
-			ID:      int64(i),
-			Arrival: time.Duration(now * float64(time.Second)),
-			LBN:     rng.Int63n(total - 16),
-			Sectors: 8,
-			Write:   rng.Float64() < 0.3,
-		}
-		i++
-		return r, true
+		fmt.Printf("  %s rack %d: hottest %.2f C, eff. temp %.2f C, AFR %.4f, mean %.2f ms\n",
+			mark, rs.Rack, rs.HottestAirC, rs.EffectiveTempC, rs.EffectiveAFR, rs.MeanLatencyMS)
+		return nil
 	})
 }

@@ -4,20 +4,23 @@
 // upstream drive. This is the disk-array thermal-design concern of Huang &
 // Chung that the paper cites ([28]) — and the reason the paper's per-drive
 // envelope math must be combined with placement when drives are racked.
+//
+// The serial-airstream arithmetic now lives in internal/fleet (Airstream),
+// where the chassis, rack and room layers compose over it at datacenter
+// scale; this package remains the single-chassis steady-state API, a thin
+// wrapper over the fleet coupling core.
 package array
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/fleet"
 	"repro/internal/geometry"
-	"repro/internal/materials"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
-
-// CubicFeetPerMinute converts the chassis airflow spec to m^3/s.
-const cubicMetersPerSecondPerCFM = 0.000471947
 
 // Chassis describes the shared cooling path.
 type Chassis struct {
@@ -30,6 +33,11 @@ type Chassis struct {
 	AirflowCFM float64
 }
 
+// airstream is the fleet coupling core this chassis wraps.
+func (c Chassis) airstream() fleet.Airstream {
+	return fleet.Airstream{Inlet: c.Inlet, AirflowCFM: c.AirflowCFM}
+}
+
 // Validate reports whether the chassis is physical.
 func (c Chassis) Validate() error {
 	if c.AirflowCFM <= 0 {
@@ -40,11 +48,7 @@ func (c Chassis) Validate() error {
 
 // heatCapacityRate returns the airstream's m*cp in W/K, using air properties
 // at the inlet temperature.
-func (c Chassis) heatCapacityRate() float64 {
-	air := materials.AirAt(c.Inlet)
-	vdot := c.AirflowCFM * cubicMetersPerSecondPerCFM
-	return vdot * air.Density * air.SpecificHeat
-}
+func (c Chassis) heatCapacityRate() float64 { return c.airstream().HeatCapacityRate() }
 
 // Slot is one drive position along the airstream (index 0 is nearest the
 // inlet).
@@ -84,7 +88,9 @@ type SlotState struct {
 
 // Evaluate computes every slot's local ambient and internal temperature.
 // In the fixed-property model a drive's dissipation is set by its operating
-// point alone, so a single upstream-to-downstream pass is exact.
+// point alone, so a single upstream-to-downstream pass is exact. The slot
+// ambients come from the fleet airstream core, bit-identical to the loop
+// this package used before the promotion.
 func Evaluate(c Chassis, slots []Slot) ([]SlotState, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -92,24 +98,24 @@ func Evaluate(c Chassis, slots []Slot) ([]SlotState, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("array: no slots")
 	}
-	mcp := c.heatCapacityRate()
+	diss := make([]units.Watts, len(slots))
+	for i, s := range slots {
+		diss[i] = s.dissipation()
+	}
+	ambients := c.airstream().Ambients(diss)
 	out := make([]SlotState, len(slots))
-	ambient := c.Inlet
 	for i, s := range slots {
 		m, err := thermal.New(s.Drive)
 		if err != nil {
 			return nil, fmt.Errorf("array: slot %d: %w", i, err)
 		}
-		st := m.SteadyState(thermal.Load{RPM: s.RPM, VCMDuty: s.VCMDuty, Ambient: ambient})
-		p := s.dissipation()
+		st := m.SteadyState(thermal.Load{RPM: s.RPM, VCMDuty: s.VCMDuty, Ambient: ambients[i]})
 		out[i] = SlotState{
-			Ambient:        ambient,
+			Ambient:        ambients[i],
 			Air:            st.Air,
-			Dissipation:    p,
+			Dissipation:    diss[i],
 			WithinEnvelope: st.Air <= thermal.Envelope,
 		}
-		// Downstream air warms by P/(m*cp).
-		ambient += units.Celsius(float64(p) / mcp)
 	}
 	return out, nil
 }
@@ -135,16 +141,26 @@ func AllWithinEnvelope(states []SlotState) bool {
 	return true
 }
 
-// OptimalOrder searches slot permutations for the arrangement minimising the
-// hottest internal air temperature. It is exhaustive and intended for the
-// small bays the experiments use (n <= 8).
+// exhaustiveLimit is the largest bay OptimalOrder searches exhaustively;
+// above it the factorial blows up (9 slots is already 362,880 evaluations)
+// and the greedy heuristic takes over.
+const exhaustiveLimit = 8
+
+// OptimalOrder arranges the slots to minimise the hottest internal air
+// temperature. Bays up to 8 slots are searched exhaustively (the exact
+// optimum). Larger bays use a greedy heuristic: slots sorted by their
+// standalone temperature rise above the inlet, hottest first, so the
+// biggest risers breathe the coolest air — the exchange argument that is
+// exact when rise and dissipation order the same way, which holds for
+// drives differing in speed, duty or size under this package's power
+// model. The returned permutation maps position -> original slot index.
 func OptimalOrder(c Chassis, slots []Slot) ([]int, []SlotState, error) {
 	n := len(slots)
 	if n == 0 {
 		return nil, nil, fmt.Errorf("array: no slots")
 	}
-	if n > 8 {
-		return nil, nil, fmt.Errorf("array: exhaustive search limited to 8 slots, have %d", n)
+	if n > exhaustiveLimit {
+		return greedyOrder(c, slots)
 	}
 	perm := make([]int, n)
 	for i := range perm {
@@ -185,6 +201,39 @@ func OptimalOrder(c Chassis, slots []Slot) ([]int, []SlotState, error) {
 		return nil, nil, err
 	}
 	return bestPerm, bestStates, nil
+}
+
+// greedyOrder is the heuristic for bays beyond the exhaustive limit: rank
+// each slot by the internal air rise it would have alone at the inlet,
+// place the biggest risers upstream, and evaluate that single arrangement.
+// Ties keep the original slot order, so the result is deterministic.
+func greedyOrder(c Chassis, slots []Slot) ([]int, []SlotState, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rises := make([]units.Celsius, len(slots))
+	for i, s := range slots {
+		m, err := thermal.New(s.Drive)
+		if err != nil {
+			return nil, nil, fmt.Errorf("array: slot %d: %w", i, err)
+		}
+		st := m.SteadyState(thermal.Load{RPM: s.RPM, VCMDuty: s.VCMDuty, Ambient: c.Inlet})
+		rises[i] = st.Air - c.Inlet
+	}
+	perm := make([]int, len(slots))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return rises[perm[a]] > rises[perm[b]] })
+	arranged := make([]Slot, len(slots))
+	for i, idx := range perm {
+		arranged[i] = slots[idx]
+	}
+	states, err := Evaluate(c, arranged)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perm, states, nil
 }
 
 // MaxInletForEnvelope bisects the highest inlet temperature at which every

@@ -151,12 +151,58 @@ func TestOptimalOrderLimits(t *testing.T) {
 	if _, _, err := OptimalOrder(testChassis(), nil); err == nil {
 		t.Error("empty bay should be rejected")
 	}
-	big := make([]Slot, 9)
+}
+
+// TestGreedyOrderAboveExhaustiveLimit exercises the heuristic path: bays
+// beyond 8 slots no longer error (the old behaviour) — they get the
+// biggest-risers-upstream arrangement.
+func TestGreedyOrderAboveExhaustiveLimit(t *testing.T) {
+	// 12 slots, worst-possible starting order: the hottest drives are
+	// downstream, breathing everyone else's exhaust.
+	big := make([]Slot, 12)
 	for i := range big {
-		big[i] = refSlot(10000, 0)
+		big[i] = refSlot(10000, 0.2)
 	}
-	if _, _, err := OptimalOrder(testChassis(), big); err == nil {
-		t.Error("9 slots should exceed the exhaustive-search limit")
+	big[10] = refSlot(20000, 1)
+	big[11] = refSlot(20000, 1)
+	c := Chassis{Inlet: 28, AirflowCFM: 25}
+
+	perm, states, err := OptimalOrder(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != len(big) || len(states) != len(big) {
+		t.Fatalf("lengths: perm %d states %d", len(perm), len(states))
+	}
+	seen := map[int]bool{}
+	for _, p := range perm {
+		seen[p] = true
+	}
+	if len(seen) != len(big) {
+		t.Fatalf("permutation not a bijection: %v", perm)
+	}
+	// The hot drives move upstream...
+	if !(perm[0] == 10 || perm[0] == 11) || !(perm[1] == 10 || perm[1] == 11) {
+		t.Fatalf("hot drives not placed first: %v", perm)
+	}
+	// ...and the arrangement beats the hot-drives-downstream identity.
+	base, err := Evaluate(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HottestAir(states) >= HottestAir(base) {
+		t.Errorf("greedy (%v) should beat hot-drives-downstream (%v)",
+			HottestAir(states), HottestAir(base))
+	}
+	// Determinism: a second call reproduces the permutation exactly.
+	again, _, err := OptimalOrder(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		if perm[i] != again[i] {
+			t.Fatalf("greedy order not deterministic: %v vs %v", perm, again)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/materials"
+	"repro/internal/units"
+)
+
+// cubicMetersPerSecondPerCFM converts an airflow spec in cubic feet per
+// minute to m^3/s.
+const cubicMetersPerSecondPerCFM = 0.000471947
+
+// Airstream is the serial shared-cooling coupling core: drives sit in one
+// airflow path, so each position's effective ambient is the inlet plus the
+// heat picked up from everything upstream. This is the model
+// internal/array introduced for a single chassis, promoted here so the
+// chassis, rack and room layers all compose over the same arithmetic
+// (internal/array's API is now a thin wrapper over this type).
+type Airstream struct {
+	// Inlet is the air temperature entering the stream.
+	Inlet units.Celsius
+
+	// AirflowCFM is the volumetric airflow in cubic feet per minute.
+	// Typical 1U-3U storage chassis move 10-50 CFM through the drive cage.
+	AirflowCFM float64
+}
+
+// Validate reports whether the airstream is physical.
+func (a Airstream) Validate() error {
+	if a.AirflowCFM <= 0 {
+		return fmt.Errorf("fleet: non-positive airflow %.1f CFM", a.AirflowCFM)
+	}
+	return nil
+}
+
+// HeatCapacityRate returns the airstream's m*cp in W/K, using air
+// properties at the inlet temperature (fixed-property model).
+func (a Airstream) HeatCapacityRate() float64 {
+	air := materials.AirAt(a.Inlet)
+	vdot := a.AirflowCFM * cubicMetersPerSecondPerCFM
+	return vdot * air.Density * air.SpecificHeat
+}
+
+// Ambients returns the local ambient each position along the stream sees
+// given the per-position dissipations: position 0 breathes the inlet, and
+// each downstream position is warmed by everything before it, one P/(m*cp)
+// accumulation per slot. In the fixed-property model a drive's dissipation
+// is set by its operating point alone, so the single pass is exact. The
+// accumulation order matches internal/array's original loop bit-for-bit.
+func (a Airstream) Ambients(dissipation []units.Watts) []units.Celsius {
+	mcp := a.HeatCapacityRate()
+	out := make([]units.Celsius, len(dissipation))
+	ambient := a.Inlet
+	for i, p := range dissipation {
+		out[i] = ambient
+		ambient += units.Celsius(float64(p) / mcp)
+	}
+	return out
+}
+
+// Outlet returns the air temperature leaving the stream: the inlet plus
+// every position's contribution, accumulated in the same order Ambients
+// uses so the two agree bit-for-bit.
+func (a Airstream) Outlet(dissipation []units.Watts) units.Celsius {
+	mcp := a.HeatCapacityRate()
+	ambient := a.Inlet
+	for _, p := range dissipation {
+		ambient += units.Celsius(float64(p) / mcp)
+	}
+	return ambient
+}

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/capacity"
+	"repro/internal/geometry"
+	"repro/internal/scaling"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// genZones matches the DTM runners' zone count so fleet drives service
+// requests over the same layout resolution.
+const genZones = 50
+
+// Generation is one drive model drawn from the scaling roadmap engine: the
+// year's projected densities on the reference 2.6" single-platter
+// mechanism, spinning at that year's thermal-envelope speed. Fleets mix
+// generations round-robin across slots, the way real datacenters
+// accumulate hardware over procurement cycles.
+type Generation struct {
+	Year int
+
+	Geom    geometry.Drive
+	Layout  *capacity.Layout
+	Thermal *thermal.Model
+
+	// RPM is the envelope speed — the fastest spin the year's drive
+	// sustains inside the paper's 45.22 C envelope at the default ambient.
+	RPM units.RPM
+
+	// TotalSectors is the layout's addressable size; streams address
+	// drives by capacity fraction so a migrated stream stays in range on
+	// any generation.
+	TotalSectors int64
+
+	// Dissipation is the design-point (always-seeking, full-duty) heat
+	// output in the airstream. The coupling uses the design point rather
+	// than instantaneous duty so slot ambients are assignment-independent
+	// — which is what makes placement computable up front and shards
+	// independent.
+	Dissipation units.Watts
+}
+
+// generations materialises the configured years, deduplicating repeats so
+// a thousand-slot fleet over four years builds four layouts. The returned
+// slice is positional: slot s (globally indexed) runs gens[s%len(gens)].
+// Layouts and thermal models are safe for concurrent shards to share.
+func generations(years []int) ([]*Generation, error) {
+	cache := make(map[int]*Generation, len(years))
+	out := make([]*Generation, len(years))
+	for i, y := range years {
+		if g := cache[y]; g != nil {
+			out[i] = g
+			continue
+		}
+		pts, err := scaling.Roadmap(scaling.Config{
+			FirstYear:    y,
+			LastYear:     y,
+			PlatterSizes: []units.Inches{2.6},
+			Platters:     1,
+			Workers:      1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: generation %d: %w", y, err)
+		}
+		p := pts[0]
+		geom := geometry.Drive{PlatterDiameter: p.Size, Platters: p.Platters}
+		layout, err := capacity.New(capacity.Config{
+			Geometry: geom,
+			BPI:      p.BPI,
+			TPI:      p.TPI,
+			Zones:    genZones,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: generation %d: %w", y, err)
+		}
+		th, err := thermal.New(geom)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: generation %d: %w", y, err)
+		}
+		diss := thermal.ViscousDissipation(p.MaxRPM, geom.PlatterDiameter, geom.Platters) +
+			thermal.BearingLoss(p.MaxRPM, geom.PlatterDiameter) +
+			thermal.VCMPower(geom.PlatterDiameter)
+		g := &Generation{
+			Year:         y,
+			Geom:         geom,
+			Layout:       layout,
+			Thermal:      th,
+			RPM:          p.MaxRPM,
+			TotalSectors: layout.TotalSectors(),
+			Dissipation:  diss,
+		}
+		cache[y] = g
+		out[i] = g
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// Metrics is the fleet layer's obs export surface. A nil *Metrics (the
+// default) keeps every simulation hot path observation-free, matching the
+// registry's disabled-means-free contract; results are identical either
+// way. The hottest-air gauge uses Max, the only order-free gauge write, so
+// snapshots stay deterministic with concurrent chassis shards.
+type Metrics struct {
+	Requests       *obs.Counter
+	ThrottleEvents *obs.Counter
+	Violations     *obs.Counter
+	Migrations     *obs.Counter
+	RacksDone      *obs.Counter
+	HottestAirC    *obs.Gauge
+}
+
+// NewMetrics registers the fleet series on a registry (nil registry gives
+// nil handles throughout — safe to use, free to ignore).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Requests:       reg.Counter("fleet_requests_total"),
+		ThrottleEvents: reg.Counter("fleet_throttle_events_total"),
+		Violations:     reg.Counter("fleet_envelope_violations_total"),
+		Migrations:     reg.Counter("fleet_migrations_total"),
+		RacksDone:      reg.Counter("fleet_racks_completed_total"),
+		HottestAirC:    reg.Gauge("fleet_hottest_air_celsius"),
+	}
+}
+
+// observe records one completion's drive temperature (nil-safe).
+func (m *Metrics) observe(air units.Celsius) {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+	m.HottestAirC.Max(float64(air))
+}
+
+// rackDone folds a finished rack's episode counts into the counters
+// (nil-safe). Counts are added at the rack barrier, not per event, so the
+// totals are independent of shard interleaving.
+func (m *Metrics) rackDone(rs RackSummary) {
+	if m == nil {
+		return
+	}
+	m.ThrottleEvents.Add(rs.ThrottleEvents)
+	m.Violations.Add(rs.EnvelopeViolations)
+	m.Migrations.Add(rs.Migrations)
+	m.RacksDone.Inc()
+}

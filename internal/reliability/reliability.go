@@ -130,6 +130,22 @@ func (e *Exposure) Add(t units.Celsius, d time.Duration) {
 	e.hasSamples = true
 }
 
+// Merge folds another exposure into e: the two temperature-weighted
+// integrals add, as if the profiles had been recorded into one
+// accumulator. Fleet-scale reductions use this to score thousands of
+// drives without keeping per-drive accumulators alive.
+func (e *Exposure) Merge(o *Exposure) {
+	if o == nil || !o.hasSamples {
+		return
+	}
+	e.weighted += o.weighted
+	e.total += o.total
+	if !e.hasSamples || o.hottest > e.hottest {
+		e.hottest = o.hottest
+	}
+	e.hasSamples = true
+}
+
 // Total returns the accumulated operating time.
 func (e *Exposure) Total() time.Duration { return e.total }
 

@@ -142,3 +142,41 @@ func TestLifeExtension(t *testing.T) {
 		t.Error("empty exposure should error")
 	}
 }
+
+func TestExposureMerge(t *testing.T) {
+	m := Default()
+	whole := NewExposure(m)
+	a := NewExposure(m)
+	b := NewExposure(m)
+	profile := []struct {
+		temp units.Celsius
+		d    time.Duration
+	}{
+		{40, time.Hour}, {50, 30 * time.Minute}, {45.22, 2 * time.Hour}, {60, 5 * time.Minute},
+	}
+	for i, p := range profile {
+		whole.Add(p.temp, p.d)
+		if i < 2 {
+			a.Add(p.temp, p.d)
+		} else {
+			b.Add(p.temp, p.d)
+		}
+	}
+	a.Merge(b)
+	if a.Total() != whole.Total() {
+		t.Fatalf("merged total %v, want %v", a.Total(), whole.Total())
+	}
+	if a.Hottest() != whole.Hottest() {
+		t.Fatalf("merged hottest %v, want %v", a.Hottest(), whole.Hottest())
+	}
+	if got, want := a.EffectiveAFR(), whole.EffectiveAFR(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged effective AFR %v, want %v", got, want)
+	}
+	// Merging empties is a no-op.
+	before := *a
+	a.Merge(nil)
+	a.Merge(NewExposure(m))
+	if *a != before {
+		t.Fatal("empty merge changed the exposure")
+	}
+}

@@ -16,6 +16,10 @@ func FuzzJobSpec(f *testing.F) {
 	f.Add([]byte(`{"type":"dtm","dtm":{"policy":"drpm"}}`))
 	f.Add([]byte(`{"type":"figure4","figure4":{"workload":"TPC-C","requests":100}}`))
 	f.Add([]byte(`{"type":"raid","raid":{"workload":"TPC-C"}}`))
+	f.Add([]byte(`{"type":"fleet","fleet":{"racks":2,"chassis_per_rack":2,"slots_per_chassis":4}}`))
+	f.Add([]byte(`{"type":"fleet","fleet":{"racks":2,"chassis_per_rack":2,"slots_per_chassis":4,` +
+		`"placement":"coolest","migrate_at_c":40,"cooling_failure":{"rack":-1,"duration_ms":2000,"delta_c":10}}}`))
+	f.Add([]byte(`{"type":"fleet","fleet":{"racks":10000,"chassis_per_rack":1000,"slots_per_chassis":64}}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"type":"roadmap","bogus":1}`))
 	f.Add([]byte(`{"type":"roadmap","workers":-1}`))

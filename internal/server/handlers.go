@@ -99,6 +99,7 @@ func (s *Server) retryAfterSeconds() string {
 // in the X-Job-ID header so the body stays spec-deterministic. Async
 // (?async=1): 202 with the job id, results via GET /v1/jobs/{id}/result.
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	async := r.URL.Query().Get("async") == "1"
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -106,7 +107,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
-	if err := spec.validate(s.cfg); err != nil {
+	if err := spec.validate(s.cfg, async); err != nil {
 		jsonError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
 		return
 	}
@@ -118,7 +119,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		// daemon restart) attaches to the original job instead of running
 		// the work twice.
 		w.Header().Set("X-Idempotent-Replay", "true")
-		if r.URL.Query().Get("async") == "1" {
+		if async {
 			w.Header().Set("Location", "/v1/jobs/"+j.id)
 			writeJSON(w, http.StatusOK, j.info())
 			return
@@ -154,7 +155,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if r.URL.Query().Get("async") == "1" {
+	if async {
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
 		writeJSON(w, http.StatusAccepted, j.info())
 		return

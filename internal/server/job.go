@@ -16,6 +16,7 @@ const (
 	TypeFigure4 = "figure4" // internal/core trace-replay RPM sweep
 	TypeDTM     = "dtm"     // internal/dtm closed-loop policy run
 	TypeRAID    = "raid"    // internal/raid degraded-mode / recovery run
+	TypeFleet   = "fleet"   // internal/fleet datacenter-scale thermal run
 )
 
 // Status is a job's lifecycle state. Transitions only move forward:
@@ -55,6 +56,7 @@ type Spec struct {
 	Figure4 *Figure4Spec `json:"figure4,omitempty"`
 	DTM     *DTMSpec     `json:"dtm,omitempty"`
 	RAID    *RAIDSpec    `json:"raid,omitempty"`
+	Fleet   *FleetSpec   `json:"fleet,omitempty"`
 }
 
 // RoadmapSpec parameterizes a roadmap job (internal/scaling.Roadmap).
@@ -112,6 +114,47 @@ type RAIDSpec struct {
 	SampleEvery     int     `json:"sample_every,omitempty"`
 }
 
+// FleetSpec parameterizes a datacenter-scale fleet thermal run
+// (internal/fleet.Run): the topology, the room scenario, the workload
+// shape, and the placement/migration policy. Results stream one rack
+// summary per rack plus a fleet-wide summary line.
+type FleetSpec struct {
+	Racks           int `json:"racks"`
+	ChassisPerRack  int `json:"chassis_per_rack"`
+	SlotsPerChassis int `json:"slots_per_chassis"`
+
+	RequestsPerDrive int     `json:"requests_per_drive,omitempty"` // 0 = 40
+	Seed             int64   `json:"seed,omitempty"`               // 0 = 1
+	HotFraction      float64 `json:"hot_fraction,omitempty"`       // 0 = 0.25
+
+	// Placement is "" or "static" (stream i on drive i) or "coolest"
+	// (hottest streams on the coolest design-point slots).
+	Placement string `json:"placement,omitempty"`
+
+	// MigrateAtC enables temperature-threshold migration (0 = off);
+	// HysteresisC is the re-admit margin below the threshold (0 = 2 C).
+	MigrateAtC  float64 `json:"migrate_at_c,omitempty"`
+	HysteresisC float64 `json:"hysteresis_c,omitempty"`
+
+	// GenYears are the drive generations assigned round-robin across the
+	// fleet's slots (empty = 2002..2005).
+	GenYears []int `json:"gen_years,omitempty"`
+
+	AirflowCFM    float64 `json:"airflow_cfm,omitempty"` // 0 = 30
+	Recirculation float64 `json:"recirculation,omitempty"`
+
+	CoolingFailure *CoolingFailureSpec `json:"cooling_failure,omitempty"`
+}
+
+// CoolingFailureSpec perturbs one rack's (or, with rack -1, the room's)
+// inlet air by DeltaC for [at_ms, at_ms+duration_ms) on the sim clock.
+type CoolingFailureSpec struct {
+	Rack       int     `json:"rack"`
+	AtMS       int64   `json:"at_ms,omitempty"`
+	DurationMS int64   `json:"duration_ms"`
+	DeltaC     float64 `json:"delta_c"`
+}
+
 // dtmPolicies is the accepted DTMSpec.Policy set.
 var dtmPolicies = map[string]bool{
 	"envelope": true, "watermark": true, "slack-ramp": true,
@@ -120,10 +163,13 @@ var dtmPolicies = map[string]bool{
 
 // validate is the admission-control gate: everything a runner would choke
 // on — and everything that would let one request monopolize the host — is
-// rejected here with a client-attributable message.
-func (s Spec) validate(cfg Config) error {
+// rejected here with a client-attributable message. async tells the
+// size-sensitive job types whether the submission rides the async path;
+// the sync path carries tighter fleet-size bounds because its caller
+// holds an open connection for the whole run.
+func (s Spec) validate(cfg Config, async bool) error {
 	blocks := 0
-	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil} {
+	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil, s.Fleet != nil} {
 		if set {
 			blocks++
 		}
@@ -155,6 +201,11 @@ func (s Spec) validate(cfg Config) error {
 			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
 		}
 		return s.RAID.validate(cfg)
+	case TypeFleet:
+		if s.Fleet == nil || blocks != 1 {
+			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
+		}
+		return s.Fleet.validate(cfg, async)
 	case "":
 		return fmt.Errorf("missing job type")
 	default:
@@ -258,6 +309,70 @@ func (r *RAIDSpec) validate(cfg Config) error {
 		return fmt.Errorf("rebuild_mb_per_sec %g outside [0,10000]", r.RebuildMBPerSec)
 	case r.SampleEvery < 0:
 		return fmt.Errorf("sample_every %d is negative", r.SampleEvery)
+	}
+	return nil
+}
+
+// fleetPlacements is the accepted FleetSpec.Placement set ("" = static).
+var fleetPlacements = map[string]bool{"": true, "static": true, "coolest": true}
+
+// maxFleetFailureMS bounds the cooling-failure window: the post-run drain
+// advances every affected drive's thermal transient to the window's end,
+// so an unbounded duration is an unbounded amount of sim work.
+const maxFleetFailureMS = 600000 // 10 sim-minutes
+
+func (f *FleetSpec) validate(cfg Config, async bool) error {
+	switch {
+	case f.Racks < 1 || f.Racks > 10000:
+		return fmt.Errorf("racks %d outside [1,10000]", f.Racks)
+	case f.ChassisPerRack < 1 || f.ChassisPerRack > 1000:
+		return fmt.Errorf("chassis_per_rack %d outside [1,1000]", f.ChassisPerRack)
+	case f.SlotsPerChassis < 1 || f.SlotsPerChassis > 64:
+		return fmt.Errorf("slots_per_chassis %d outside [1,64]", f.SlotsPerChassis)
+	case f.RequestsPerDrive < 0 || f.RequestsPerDrive > 10000:
+		return fmt.Errorf("requests_per_drive %d outside [0,10000]", f.RequestsPerDrive)
+	case f.HotFraction < 0 || f.HotFraction > 1:
+		return fmt.Errorf("hot_fraction %g outside [0,1]", f.HotFraction)
+	case !fleetPlacements[f.Placement]:
+		return fmt.Errorf("unknown placement %q", f.Placement)
+	case f.MigrateAtC < 0 || f.MigrateAtC > 100:
+		return fmt.Errorf("migrate_at_c %g outside [0,100]", f.MigrateAtC)
+	case f.HysteresisC < 0 || f.HysteresisC > 50:
+		return fmt.Errorf("hysteresis_c %g outside [0,50]", f.HysteresisC)
+	case f.AirflowCFM < 0 || f.AirflowCFM > 10000:
+		return fmt.Errorf("airflow_cfm %g outside [0,10000]", f.AirflowCFM)
+	case f.Recirculation < 0 || f.Recirculation >= 1:
+		return fmt.Errorf("recirculation %g outside [0,1)", f.Recirculation)
+	case len(f.GenYears) > 16:
+		return fmt.Errorf("%d generation years, want at most 16", len(f.GenYears))
+	}
+	for _, y := range f.GenYears {
+		if y < 1990 || y > 2100 {
+			return fmt.Errorf("generation year %d outside [1990,2100]", y)
+		}
+	}
+	if cf := f.CoolingFailure; cf != nil {
+		switch {
+		case cf.Rack < -1 || cf.Rack >= f.Racks:
+			return fmt.Errorf("cooling_failure rack %d outside [-1,%d)", cf.Rack, f.Racks)
+		case cf.AtMS < 0 || cf.DurationMS < 0:
+			return fmt.Errorf("cooling_failure window [%d,+%d] not in sim time", cf.AtMS, cf.DurationMS)
+		case cf.AtMS+cf.DurationMS > maxFleetFailureMS:
+			return fmt.Errorf("cooling_failure window ends at %dms, cap %dms", cf.AtMS+cf.DurationMS, maxFleetFailureMS)
+		case cf.DeltaC < 0 || cf.DeltaC > 50:
+			return fmt.Errorf("cooling_failure delta_c %g outside [0,50]", cf.DeltaC)
+		}
+	}
+	// Size is bounded per submission path: a million-drive spec is only
+	// admissible as an async job — the sync path would pin one HTTP
+	// connection and one pool worker to a run that outlives any client.
+	drives := f.Racks * f.ChassisPerRack * f.SlotsPerChassis
+	if drives > cfg.MaxFleetDrives {
+		return fmt.Errorf("fleet of %d drives exceeds the %d-drive cap", drives, cfg.MaxFleetDrives)
+	}
+	if !async && drives > cfg.MaxSyncFleetDrives {
+		return fmt.Errorf("fleet of %d drives exceeds the synchronous cap of %d; submit with ?async=1 and poll the result",
+			drives, cfg.MaxSyncFleetDrives)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/obs"
 )
@@ -40,6 +41,14 @@ type Config struct {
 	MaxRequests    int   // per-job trace-length cap, default 200000
 	MaxResultBytes int64 // per-job buffered result cap, default 16 MiB
 	MaxJobs        int   // retained job records before oldest-terminal eviction, default 256
+
+	// MaxFleetDrives caps a fleet job's total drive count regardless of
+	// submission path (default 1,000,000). MaxSyncFleetDrives is the
+	// tighter bound for synchronous submissions, which hold one HTTP
+	// connection and one pool worker for the whole run (default 20,000);
+	// larger fleets must go through ?async=1.
+	MaxFleetDrives     int
+	MaxSyncFleetDrives int
 
 	// JournalDir enables crash safety: every admission, checkpoint and
 	// completion is fsync-journaled there, and startup replays the log —
@@ -88,6 +97,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
 	}
+	if c.MaxFleetDrives <= 0 {
+		c.MaxFleetDrives = 1000000
+	}
+	if c.MaxSyncFleetDrives <= 0 {
+		c.MaxSyncFleetDrives = 20000
+	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 2000
 	}
@@ -128,10 +143,11 @@ func (l lifeState) String() string {
 // Server is the simulation service: a job registry, a bounded queue feeding
 // a fixed worker pool, and the HTTP surface in handlers.go.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
-	met *metrics
-	mux *http.ServeMux
+	cfg      Config
+	reg      *obs.Registry
+	met      *metrics
+	fleetMet *fleet.Metrics
+	mux      *http.ServeMux
 
 	// queueMu guards queue sends against close(queue): enqueue and
 	// beginDrain take it, so a send can never race the close. It also
@@ -188,12 +204,13 @@ func New(cfg Config) (*Server, error) {
 func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		met:   newMetrics(cfg.Registry),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
-		keys:  make(map[string]string),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		met:      newMetrics(cfg.Registry),
+		fleetMet: fleet.NewMetrics(cfg.Registry),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		keys:     make(map[string]string),
 	}
 	if cfg.JournalDir == "" {
 		s.state = lifeReady
@@ -576,6 +593,8 @@ func (s *Server) dispatch(ctx context.Context, j *job) (err error) {
 		return runDTM(ctx, j.spec, env)
 	case TypeRAID:
 		return runRAID(ctx, j.spec, env)
+	case TypeFleet:
+		return runFleet(ctx, j.spec, env, s.fleetMet)
 	default:
 		return fmt.Errorf("unknown job type %q", j.spec.Type)
 	}

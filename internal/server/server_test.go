@@ -63,9 +63,20 @@ func TestSpecValidation(t *testing.T) {
 		{Type: TypeRAID, RAID: &RAIDSpec{Workload: "TPC-C", FailDisk: 99}},
 		{Type: TypeRoadmap, Workers: maxJobWorkers + 1, Roadmap: &RoadmapSpec{}},
 		{Type: TypeRoadmap, TimeoutMS: -1, Roadmap: &RoadmapSpec{}},
+		{Type: TypeFleet},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 0, ChassisPerRack: 1, SlotsPerChassis: 1}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 1, ChassisPerRack: 1, SlotsPerChassis: 65}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 1, ChassisPerRack: 1, SlotsPerChassis: 1, Placement: "warmest"}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 1, ChassisPerRack: 1, SlotsPerChassis: 1, Recirculation: 1}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 1, ChassisPerRack: 1, SlotsPerChassis: 4,
+			CoolingFailure: &CoolingFailureSpec{Rack: 1, DurationMS: 1000, DeltaC: 10}}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 1, ChassisPerRack: 1, SlotsPerChassis: 4,
+			CoolingFailure: &CoolingFailureSpec{Rack: 0, DurationMS: maxFleetFailureMS + 1, DeltaC: 10}}},
+		// 10000*1000*64 drives blows past MaxFleetDrives even async.
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 10000, ChassisPerRack: 1000, SlotsPerChassis: 64}},
 	}
 	for i, s := range bad {
-		if err := s.validate(cfg); err == nil {
+		if err := s.validate(cfg, true); err == nil {
 			t.Errorf("spec %d: expected validation error, got nil", i)
 		}
 	}
@@ -75,11 +86,46 @@ func TestSpecValidation(t *testing.T) {
 		{Type: TypeFigure4, Figure4: &Figure4Spec{Workload: "all"}},
 		{Type: TypeDTM, DTM: &DTMSpec{Policy: "envelope"}},
 		{Type: TypeRAID, RAID: &RAIDSpec{Workload: "TPC-C"}},
+		{Type: TypeFleet, Fleet: &FleetSpec{Racks: 2, ChassisPerRack: 2, SlotsPerChassis: 4,
+			Placement: "coolest", MigrateAtC: 40,
+			CoolingFailure: &CoolingFailureSpec{Rack: -1, AtMS: 100, DurationMS: 2000, DeltaC: 10}}},
 	}
 	for i, s := range good {
-		if err := s.validate(cfg); err != nil {
+		if err := s.validate(cfg, true); err != nil {
 			t.Errorf("spec %d: unexpected validation error: %v", i, err)
 		}
+	}
+}
+
+// TestFleetSyncSizeBound pins the per-path fleet-size gate: a fleet over
+// MaxSyncFleetDrives is rejected on the sync path with a message pointing
+// at ?async=1, accepted on the async path, and a fleet over MaxFleetDrives
+// is rejected on both.
+func TestFleetSyncSizeBound(t *testing.T) {
+	cfg := testConfig().withDefaults()
+	// 50 racks x 10 chassis x 50 slots = 25,000 drives: above the 20,000
+	// sync cap, below the 1,000,000 async cap.
+	spec := Spec{Type: TypeFleet, Fleet: &FleetSpec{Racks: 50, ChassisPerRack: 10, SlotsPerChassis: 50}}
+	err := spec.validate(cfg, false)
+	if err == nil {
+		t.Fatal("25k-drive fleet accepted on the sync path")
+	}
+	if !strings.Contains(err.Error(), "async=1") {
+		t.Fatalf("sync rejection should point at the async path: %v", err)
+	}
+	if err := spec.validate(cfg, true); err != nil {
+		t.Fatalf("25k-drive fleet rejected async: %v", err)
+	}
+
+	// The handler enforces the same gate end to end: a synchronous POST of
+	// the oversized spec is a 400 before any work is admitted.
+	s := newServer(testConfig()) // no workers: admission only
+	body := `{"type":"fleet","fleet":{"racks":50,"chassis_per_rack":10,"slots_per_chassis":50}}`
+	if w := postJob(t, s.Handler(), body, ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("sync oversized fleet = %d, want 400: %s", w.Code, w.Body.String())
+	}
+	if w := postJob(t, s.Handler(), body, "?async=1"); w.Code != http.StatusAccepted {
+		t.Fatalf("async oversized fleet = %d, want 202: %s", w.Code, w.Body.String())
 	}
 }
 

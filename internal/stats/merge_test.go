@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningMerge(t *testing.T) {
+	var whole, a, b Running
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 50
+		whole.AddMillis(x)
+		if i < 200 {
+			a.AddMillis(x)
+		} else {
+			b.AddMillis(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if a.Max() != whole.Max() {
+		t.Fatalf("merged max = %v, want %v", a.Max(), whole.Max())
+	}
+	// The merged sum is one extra float64 addition, so compare within a
+	// few ulps rather than bit-exactly.
+	if math.Abs(a.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged sum = %v, want %v", a.Sum(), whole.Sum())
+	}
+
+	// Merging an empty or nil accumulator is a no-op.
+	before := a
+	a.Merge(nil)
+	a.Merge(&Running{})
+	if a != before {
+		t.Fatal("empty merge changed the accumulator")
+	}
+}
+
+func TestBucketCountsMergeExact(t *testing.T) {
+	edges := []float64{1, 2, 4, 8}
+	whole := NewBucketCounts(edges)
+	a := NewBucketCounts(edges)
+	b := NewBucketCounts(edges)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() * 12
+		whole.AddMillis(x)
+		if i%2 == 0 {
+			a.AddMillis(x)
+		} else {
+			b.AddMillis(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	wc, ac := whole.Counts(), a.Counts()
+	for i := range wc {
+		if ac[i] != wc[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, ac[i], wc[i])
+		}
+	}
+}
+
+func TestBucketCountsMergeRejectsMismatchedEdges(t *testing.T) {
+	a := NewBucketCounts([]float64{1, 2})
+	a.AddMillis(1)
+	b := NewBucketCounts([]float64{1, 3})
+	b.AddMillis(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched edges should refuse to merge")
+	}
+	c := NewBucketCounts([]float64{1})
+	c.AddMillis(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched edge counts should refuse to merge")
+	}
+	// Empty merges are fine regardless of shape.
+	if err := a.Merge(NewBucketCounts([]float64{9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketCountsQuantile(t *testing.T) {
+	b := NewBucketCounts([]float64{1, 2, 4, 8})
+	if b.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// 10 observations: 5 in <=1, 3 in <=2, 2 in <=4.
+	for i := 0; i < 5; i++ {
+		b.AddMillis(0.5)
+	}
+	for i := 0; i < 3; i++ {
+		b.AddMillis(1.5)
+	}
+	for i := 0; i < 2; i++ {
+		b.AddMillis(3)
+	}
+	if got := b.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := b.Quantile(0.8); got != 2 {
+		t.Fatalf("p80 = %v, want 2", got)
+	}
+	if got := b.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 = %v, want 4", got)
+	}
+	// Open-bucket observations clamp to the last edge.
+	b.AddMillis(100)
+	if got := b.Quantile(0.999); got != 8 {
+		t.Fatalf("open-bucket quantile = %v, want last edge 8", got)
+	}
+}

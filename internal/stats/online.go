@@ -32,6 +32,21 @@ func (r *Running) AddMillis(ms float64) {
 	}
 }
 
+// Merge folds another accumulator into r. Counts and max merge exactly;
+// the merged sum is one float64 addition per Merge, so a sharded reduction
+// that always merges in the same order is deterministic, though not
+// bit-identical to feeding one accumulator the concatenated stream.
+func (r *Running) Merge(o *Running) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	r.n += o.n
+	r.sum += o.sum
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
 // N returns the number of observations.
 func (r *Running) N() int64 { return r.n }
 
@@ -207,6 +222,50 @@ func (b *BucketCounts) AddMillis(ms float64) {
 	i := sort.SearchFloat64s(b.edges, ms) // first edge >= ms: the <=edge bucket
 	b.counts[i]++
 	b.n++
+}
+
+// Merge folds another counter into b. Both must have been built over the
+// same edges; bucket membership is exact, so a sharded reduction merges
+// exactly — unlike P2, whose marker state cannot be combined.
+func (b *BucketCounts) Merge(o *BucketCounts) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if len(o.edges) != len(b.edges) {
+		return fmt.Errorf("stats: merging bucket counts over %d edges into %d", len(o.edges), len(b.edges))
+	}
+	for i, e := range b.edges {
+		if o.edges[i] != e {
+			return fmt.Errorf("stats: merging bucket counts with mismatched edge %d (%g vs %g)", i, o.edges[i], e)
+		}
+	}
+	for i, c := range o.counts {
+		b.counts[i] += c
+	}
+	b.n += o.n
+	return nil
+}
+
+// Quantile returns the smallest edge whose cumulative count covers the
+// p-th quantile (p in (0,1)) — an upper bound on the exact order statistic
+// quantized to the bucket edges. Observations in the final open bucket
+// clamp to the last edge; an empty counter reports 0.
+func (b *BucketCounts) Quantile(p float64) float64 {
+	if b.n == 0 || len(b.edges) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(b.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range b.counts[:len(b.edges)] {
+		cum += c
+		if cum >= rank {
+			return b.edges[i]
+		}
+	}
+	return b.edges[len(b.edges)-1]
 }
 
 // N returns the number of observations.
