@@ -14,6 +14,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +39,7 @@ func main() {
 		maxFleet     = flag.Int("max-fleet-drives", 1000000, "fleet-job total drive cap")
 		maxSyncFleet = flag.Int("max-sync-fleet-drives", 20000, "largest fleet job accepted without ?async=1")
 		metricsOut   = flag.String("metrics-out", "", "write a final metrics snapshot here on shutdown")
+		pprofAddr    = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 
 		journalDir  = flag.String("journal", "", "journal directory for crash-safe jobs (empty = in-memory only)")
 		ckptEvery   = flag.Int("checkpoint-every", 2000, "completions between journal checkpoints in long runs")
@@ -56,17 +60,46 @@ func main() {
 		CheckpointEvery:    *ckptEvery,
 		CompactEvery:       *compactEach,
 	}
-	if err := run(cfg, *addrFile, *drainTimeout, *metricsOut); err != nil {
+	if err := run(cfg, *addrFile, *drainTimeout, *metricsOut, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg server.Config, addrFile string, drainTimeout time.Duration, metricsOut string) error {
+// startPprof serves net/http/pprof on its own listener, separate from the
+// job API so profile scrapes are never subject to the daemon's admission
+// control (and the profiling surface is never exposed on the service
+// address). Returns a shutdown func.
+func startPprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed via the returned shutdown func
+	fmt.Printf("simd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
+func run(cfg server.Config, addrFile string, drainTimeout time.Duration, metricsOut, pprofAddr string) error {
 	reg := obs.NewRegistry()
 	parallel.SetMetrics(parallel.NewMetrics(reg))
 	defer parallel.SetMetrics(nil)
 	cfg.Registry = reg
+
+	if pprofAddr != "" {
+		stopPprof, err := startPprof(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -8,6 +8,11 @@
 // retried submission can never run twice, and a circuit breaker that fails
 // fast while the daemon is down. Without it, every refusal is a hard error
 // — useful to observe raw backpressure.
+//
+// With -ramp the closed loop is replaced by the open-loop saturation
+// staircase in ramp.go: offered rate climbs by -ramp-factor each -stage
+// window until the daemon stops sustaining it, and the knee's jobs/s and
+// p99 latency are reported (and written as a bench line via -bench-out).
 package main
 
 import (
@@ -35,15 +40,31 @@ func main() {
 		retry       = flag.Bool("retry", false, "enable retries, idempotency keys and the circuit breaker")
 		keyPrefix   = flag.String("key-prefix", "", "idempotency key prefix (default: derived from the clock; implies per-job keys when -retry is set)")
 		seed        = flag.Int64("seed", 0, "retry-jitter seed (0 = from the clock)")
+
+		ramp        = flag.Bool("ramp", false, "run the open-loop saturation ramp instead of a fixed job count")
+		rampStart   = flag.Float64("ramp-start", 4, "ramp: first stage offered rate, jobs/s")
+		rampFactor  = flag.Float64("ramp-factor", 2, "ramp: offered-rate multiplier between stages")
+		rampStages  = flag.Int("ramp-stages", 6, "ramp: maximum stages")
+		stageLen    = flag.Duration("stage", 4*time.Second, "ramp: submission window per stage")
+		sustainFrac = flag.Float64("sustain-frac", 0.95, "ramp: achieved/offered floor for a stage to count as sustained")
+		benchOut    = flag.String("bench-out", "", "ramp: write the knee as a go-bench line to this file (for cmd/benchdiff)")
 	)
 	flag.Parse()
-	if err := run(*addr, *jobs, *concurrency, *specJSON, *timeout, *retry, *keyPrefix, *seed); err != nil {
+	var rampCfg *rampConfig
+	if *ramp {
+		rampCfg = &rampConfig{
+			start: *rampStart, factor: *rampFactor, stages: *rampStages,
+			stageLen: *stageLen, sustainFrac: *sustainFrac, benchOut: *benchOut,
+			retry: *retry, keyPrefix: *keyPrefix,
+		}
+	}
+	if err := run(*addr, *jobs, *concurrency, *specJSON, *timeout, *retry, *keyPrefix, *seed, rampCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "simload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, jobs, concurrency int, specJSON string, timeout time.Duration, retry bool, keyPrefix string, seed int64) error {
+func run(addr string, jobs, concurrency int, specJSON string, timeout time.Duration, retry bool, keyPrefix string, seed int64, rampCfg *rampConfig) error {
 	spec := server.Spec{Type: server.TypeRoadmap, Roadmap: &server.RoadmapSpec{
 		FirstYear: 2002, LastYear: 2006, PlatterSizes: []float64{2.6},
 	}}
@@ -80,6 +101,11 @@ func run(addr string, jobs, concurrency int, specJSON string, timeout time.Durat
 	// answers 503 until the replay finishes.
 	if err := waitReady(ctx, c, 10*time.Second); err != nil {
 		return fmt.Errorf("daemon not ready: %w", err)
+	}
+
+	if rampCfg != nil {
+		rampCfg.keyPrefix = keyPrefix
+		return runRamp(ctx, c, spec, *rampCfg)
 	}
 
 	var done, failed, refused atomic.Int64

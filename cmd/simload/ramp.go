@@ -1,0 +1,185 @@
+// Saturation ramp: open-loop arrival staircase that finds the daemon's
+// throughput knee. Unlike the default closed-loop mode — where a semaphore
+// means a slow server is offered less load — each stage here submits at a
+// fixed offered rate regardless of how the server is doing (goroutine per
+// arrival, no concurrency gate), which is the only way to observe the knee:
+// the highest offered rate the daemon absorbs with zero refusals, zero
+// failures and completed throughput within -sustain-frac of offered. The
+// knee's sustained jobs/s and p99 submit-to-done latency are reported, and
+// -bench-out writes them as a go-bench line so cmd/benchdiff can gate them
+// against BENCH_serve.json like any other benchmark.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// rampConfig carries the staircase shape from flags.
+type rampConfig struct {
+	start       float64       // first stage offered rate, jobs/s
+	factor      float64       // offered-rate multiplier between stages
+	stages      int           // maximum stages before stopping
+	stageLen    time.Duration // submission window per stage
+	sustainFrac float64       // achieved/offered floor for "sustained"
+	benchOut    string        // bench-format output path ("" = none)
+	retry       bool          // use idempotency keys per job
+	keyPrefix   string
+}
+
+// stageResult is what one open-loop stage measured.
+type stageResult struct {
+	offered               float64 // jobs/s submitted at
+	achieved              float64 // done / elapsed-including-drain, jobs/s
+	submitted             int
+	done, failed, refused int64
+	p99                   time.Duration
+	elapsed               time.Duration
+}
+
+// sustained reports whether the stage held the offered rate: nothing
+// refused, nothing failed, and completed throughput within frac of offered.
+// The drain tail after the submission window is inside elapsed, so a server
+// that queues the stage and limps through it afterwards does not pass.
+func (s stageResult) sustained(frac float64) bool {
+	return s.refused == 0 && s.failed == 0 && s.achieved >= frac*s.offered
+}
+
+// runRamp climbs the offered-rate staircase until a stage fails to sustain
+// (the knee) or stages run out, then reports the last sustained stage.
+func runRamp(ctx context.Context, c *client.Client, spec server.Spec, cfg rampConfig) error {
+	if cfg.start <= 0 || cfg.factor <= 1 || cfg.stages < 1 {
+		return fmt.Errorf("ramp needs -ramp-start > 0, -ramp-factor > 1, -ramp-stages >= 1")
+	}
+	var knee *stageResult
+	rate := cfg.start
+	jobN := 0
+	for s := 0; s < cfg.stages; s++ {
+		res, err := runStage(ctx, c, spec, cfg, rate, &jobN)
+		if err != nil {
+			return err
+		}
+		ok := res.sustained(cfg.sustainFrac)
+		verdict := "sustained"
+		if !ok {
+			verdict = "NOT sustained"
+		}
+		fmt.Printf("simload: stage %d: offered %.1f jobs/s -> achieved %.1f jobs/s (%d done, %d failed, %d refused, p99 %v) %s\n",
+			s+1, res.offered, res.achieved, res.done, res.failed, res.refused,
+			res.p99.Round(time.Millisecond), verdict)
+		if !ok {
+			break // past the knee; higher rates only fail harder
+		}
+		r := res
+		knee = &r
+		rate *= cfg.factor
+	}
+	if knee == nil {
+		return fmt.Errorf("no stage sustained: even %.1f jobs/s is past the knee", cfg.start)
+	}
+	fmt.Printf("simload: knee: sustained %.2f jobs/s (offered %.1f), p99 %v over %d jobs\n",
+		knee.achieved, knee.offered, knee.p99.Round(time.Millisecond), knee.done)
+	if cfg.benchOut != "" {
+		if err := writeBenchLine(cfg.benchOut, *knee); err != nil {
+			return err
+		}
+		fmt.Printf("simload: wrote %s\n", cfg.benchOut)
+	}
+	return nil
+}
+
+// runStage offers `rate` jobs/s for the stage window, then drains: wall
+// clock keeps running until every submitted job resolves, so the achieved
+// rate charges a backlogged server for its queue.
+func runStage(ctx context.Context, c *client.Client, spec server.Spec, cfg rampConfig, rate float64, jobN *int) (stageResult, error) {
+	interval := time.Duration(float64(time.Second) / rate)
+	res := stageResult{offered: rate}
+
+	var (
+		wg                    sync.WaitGroup
+		done, failed, refused atomic.Int64
+		mu                    sync.Mutex
+		lats                  []time.Duration
+	)
+	launch := func(n int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := ""
+			if cfg.retry {
+				key = fmt.Sprintf("%s-%d", cfg.keyPrefix, n)
+			}
+			t0 := time.Now()
+			info, err := c.SubmitAsync(ctx, spec, key)
+			if err != nil {
+				refused.Add(1)
+				return
+			}
+			final, err := c.Wait(ctx, info.ID, 5*time.Millisecond)
+			if err != nil || final.Status != server.StatusDone {
+				failed.Add(1)
+				return
+			}
+			lat := time.Since(t0)
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+			done.Add(1)
+		}()
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.stageLen)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := start; now.Before(deadline); {
+		launch(*jobN)
+		*jobN++
+		res.submitted++
+		select {
+		case now = <-tick.C:
+		case <-ctx.Done():
+			return res, fmt.Errorf("ramp deadline hit mid-stage (raise -timeout): %w", ctx.Err())
+		}
+	}
+	wg.Wait() // drain: completions after the window still count, on the clock
+	res.elapsed = time.Since(start)
+	res.done, res.failed, res.refused = done.Load(), failed.Load(), refused.Load()
+	if res.elapsed > 0 {
+		res.achieved = float64(res.done) / res.elapsed.Seconds()
+	}
+	res.p99 = percentile99(lats)
+	if ctx.Err() != nil {
+		return res, fmt.Errorf("ramp deadline hit during drain (raise -timeout): %w", ctx.Err())
+	}
+	return res, nil
+}
+
+// percentile99 is the ceil(0.99n)-th smallest latency.
+func percentile99(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (99*len(lats)+99)/100 - 1
+	return lats[idx]
+}
+
+// writeBenchLine records the knee in go-bench format: ns/op is the
+// sustained inter-completion time (1e9 / jobs/s), with the raw rate and p99
+// as extra value/unit pairs. cmd/benchdiff reads the ns/op column, so a
+// throughput collapse fails the gate as a time regression.
+func writeBenchLine(path string, knee stageResult) error {
+	line := fmt.Sprintf("BenchmarkServeSaturation \t %d \t %.0f ns/op \t %.2f jobs/s \t %.2f p99-ms\n",
+		knee.done, 1e9/knee.achieved, knee.achieved,
+		float64(knee.p99)/float64(time.Millisecond))
+	return os.WriteFile(path, []byte(line), 0o644)
+}

@@ -126,6 +126,16 @@ type Disk struct {
 	headCyl int
 	ready   time.Duration // when the disk is next free
 
+	// Hot-path timing caches, derived in New (and refreshRev on SetRPM)
+	// rather than recomputed per request. Each is the exact expression
+	// Serve used to evaluate inline — identical operands, identical
+	// operations — so hoisting them cannot change a single output bit.
+	rev            time.Duration // one revolution at the current rpm
+	revF           float64       // float64(rev): the rotation/transfer divisor
+	busBytesPerSec float64       // BusMBPerSec*MB: cache-hit transfer divisor
+	zoneSPT        []zoneRate    // per-zone sectors-per-track table
+	cylsPerZone    int           // zone index = cylinder / cylsPerZone
+
 	served  int64
 	retries int64
 	rng     uint64 // xorshift state for legacy RetryProb draws
@@ -184,7 +194,7 @@ func New(cfg Config) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Disk{
+	d := &Disk{
 		cfg:       cfg,
 		layout:    cfg.Layout,
 		seek:      sm,
@@ -193,7 +203,39 @@ func New(cfg Config) (*Disk, error) {
 		rng:       0x9e3779b97f4a7c15,
 		remaps:    make(map[int64]int64),
 		sparePool: spares,
-	}, nil
+	}
+	d.refreshRev()
+	d.busBytesPerSec = cfg.BusMBPerSec * units.MB
+	zones := cfg.Layout.Zones
+	d.zoneSPT = make([]zoneRate, len(zones))
+	for i, z := range zones {
+		d.zoneSPT[i] = zoneRate{spt: z.SectorsPerTrack, sptF: float64(z.SectorsPerTrack)}
+	}
+	d.cylsPerZone = cfg.Layout.Cylinders / len(zones) // zones are equal-sized
+	return d, nil
+}
+
+// zoneRate is one slot of the per-zone timing table: the zone's
+// sectors-per-track in the two forms the hot path consumes (the int for the
+// track walk, the float64 divisor for angle/transfer fractions), saving the
+// pointer chase and conversions of Layout.ZoneOfCylinder per request.
+type zoneRate struct {
+	spt  int
+	sptF float64
+}
+
+// frac returns the fractional part of non-negative x. It equals
+// math.Mod(x, 1) exactly — fmod by 1 reduces to x - trunc(x) and both
+// operations are IEEE-exact — but math.Trunc compiles to one rounding
+// instruction where math.Mod's frexp/ldexp loop dominated the
+// rotational-latency calculation on the streaming profile.
+func frac(x float64) float64 { return x - math.Trunc(x) }
+
+// refreshRev recomputes the cached revolution time; called whenever rpm is
+// set. The expression matches what period() always returned per call.
+func (d *Disk) refreshRev() {
+	d.rev = time.Duration(d.rpm.PeriodSeconds() * float64(time.Second))
+	d.revF = float64(d.rev)
 }
 
 // Layout returns the disk's recording layout.
@@ -209,6 +251,7 @@ func (d *Disk) SetRPM(rpm units.RPM) error {
 		return fmt.Errorf("disksim: non-positive RPM %v", rpm)
 	}
 	d.rpm = rpm
+	d.refreshRev()
 	return nil
 }
 
@@ -241,9 +284,7 @@ func (d *Disk) rand() float64 {
 }
 
 // period returns one revolution as a time.Duration.
-func (d *Disk) period() time.Duration {
-	return time.Duration(d.rpm.PeriodSeconds() * float64(time.Second))
-}
+func (d *Disk) period() time.Duration { return d.rev }
 
 // Serve services one request, starting no earlier than the request's arrival
 // or the disk's ready time. Callers are responsible for ordering (Simulate
@@ -267,7 +308,7 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	if !r.Write && d.cache.lookup(r.LBN, r.Sectors, t) {
 		// Cache hit: only the bus transfer remains.
 		bus := time.Duration(float64(r.Sectors*units.SectorBytes) /
-			(d.cfg.BusMBPerSec * units.MB) * float64(time.Second))
+			d.busBytesPerSec * float64(time.Second))
 		c.Parts.Transfer = bus
 		c.CacheHit = true
 		c.Finish = t + bus
@@ -290,20 +331,20 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	t += seekT
 
 	// Rotational latency to the first sector.
-	z := d.layout.ZoneOfCylinder(loc.Cylinder)
-	period := d.period()
-	angleNow := math.Mod(float64(t)/float64(period), 1)
-	angleTarget := float64(loc.Sector) / float64(z.SectorsPerTrack)
+	zi := loc.Cylinder / d.cylsPerZone
+	period := d.rev
+	angleNow := frac(float64(t) / d.revF)
+	angleTarget := float64(loc.Sector) / d.zoneSPT[zi].sptF
 	wait := angleTarget - angleNow
 	if wait < 0 {
 		wait++
 	}
-	rot := time.Duration(wait * float64(period))
+	rot := time.Duration(wait * d.revF)
 	c.Parts.Rotation = rot
 	t += rot
 
 	// Transfer, walking track and cylinder boundaries.
-	transfer, lastCyl := d.transferTime(loc, r.Sectors, period)
+	transfer, lastCyl := d.transferTime(loc, r.Sectors)
 	c.Parts.Transfer = transfer
 	t += transfer
 
@@ -342,7 +383,7 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 	d.ready = t
 	d.served++
 	if d.ins != nil {
-		d.ins.record(&c, z.Index)
+		d.ins.record(&c, zi)
 	}
 
 	if r.Write {
@@ -355,21 +396,28 @@ func (d *Disk) Serve(r Request) (Completion, error) {
 
 // transferTime walks the request across tracks, charging media time per
 // sector and a head-switch penalty per boundary; it returns the total time
-// and the final cylinder.
-func (d *Disk) transferTime(loc capacity.Location, sectors int, period time.Duration) (time.Duration, int) {
+// and the final cylinder. The walk reads the zoneSPT table instead of
+// resolving the zone per track, and full tracks charge the cached
+// revolution directly (spt/spt*rev is exactly rev — the same bits the
+// division produced).
+func (d *Disk) transferTime(loc capacity.Location, sectors int) (time.Duration, int) {
 	var total time.Duration
 	cyl, surf, sec := loc.Cylinder, loc.Surface, loc.Sector
 	remaining := sectors
 	for remaining > 0 {
-		z := d.layout.ZoneOfCylinder(cyl)
-		if z == nil { // request ran off the end; Validate prevents this
+		if cyl >= d.layout.Cylinders { // request ran off the end; Validate prevents this
 			break
 		}
-		onTrack := z.SectorsPerTrack - sec
+		zr := d.zoneSPT[cyl/d.cylsPerZone]
+		onTrack := zr.spt - sec
 		if onTrack > remaining {
 			onTrack = remaining
 		}
-		total += time.Duration(float64(onTrack) / float64(z.SectorsPerTrack) * float64(period))
+		if onTrack == zr.spt {
+			total += d.rev
+		} else {
+			total += time.Duration(float64(onTrack) / zr.sptF * d.revF)
+		}
 		remaining -= onTrack
 		if remaining == 0 {
 			break
@@ -484,14 +532,12 @@ func (d *Disk) positionCost(r Request, now time.Duration) float64 {
 		return float64(seekT)
 	}
 	// SPTF: seek plus rotational latency estimated at now+overhead+seek.
-	z := d.layout.ZoneOfCylinder(loc.Cylinder)
-	period := d.period()
 	t := now + d.cfg.Overhead + seekT
-	angleNow := math.Mod(float64(t)/float64(period), 1)
-	angleTarget := float64(loc.Sector) / float64(z.SectorsPerTrack)
+	angleNow := frac(float64(t) / d.revF)
+	angleTarget := float64(loc.Sector) / d.zoneSPT[loc.Cylinder/d.cylsPerZone].sptF
 	wait := angleTarget - angleNow
 	if wait < 0 {
 		wait++
 	}
-	return float64(seekT) + wait*float64(period)
+	return float64(seekT) + wait*d.revF
 }

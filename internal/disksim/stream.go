@@ -23,30 +23,47 @@ func (d *Disk) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Sink
 	if eng == nil {
 		eng = sim.NewEngine()
 	}
-	var failed error
-	var admit func(e *sim.Engine)
-	admit = func(e *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			return
-		}
-		e.At(r.Arrival, func(e *sim.Engine) {
-			c, err := d.Serve(r)
-			if err != nil {
-				failed = err
-				e.Fail(err)
-				return
-			}
-			recordSpan(e.Tracer(), &c)
-			sink.Push(c)
-			admit(e)
-		})
-	}
-	admit(eng)
+	s := &diskStream{d: d, src: src, sink: sink}
+	s.fire = s.serve // one event closure for the whole run, not one per request
+	s.admit(eng)
 	if err := eng.Run(); err != nil {
 		return err
 	}
-	return failed
+	return s.failed
+}
+
+// diskStream is RunStream's admission state: one struct and one pre-bound
+// event closure for the whole run. Only one admission is outstanding at a
+// time, so the single in-flight request slot suffices and the per-request
+// path allocates nothing.
+type diskStream struct {
+	d      *Disk
+	src    sim.Source[Request]
+	sink   sim.Sink[Completion]
+	r      Request // the in-flight request, valid between admit and serve
+	failed error
+	fire   func(*sim.Engine)
+}
+
+func (s *diskStream) admit(e *sim.Engine) {
+	r, ok := s.src.Next()
+	if !ok {
+		return
+	}
+	s.r = r
+	e.At(r.Arrival, s.fire)
+}
+
+func (s *diskStream) serve(e *sim.Engine) {
+	c, err := s.d.Serve(s.r)
+	if err != nil {
+		s.failed = err
+		e.Fail(err)
+		return
+	}
+	recordSpan(e.Tracer(), &c)
+	s.sink.Push(c)
+	s.admit(e)
 }
 
 // RunStreamCtx is RunStream with cooperative cancellation: the source is

@@ -135,22 +135,6 @@ func (c *Controller) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 		return true
 	}
 
-	var admit func(e *sim.Engine)
-	admit = func(e *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			done = true
-			return
-		}
-		if firstArrival < 0 {
-			firstArrival = r.Arrival
-		}
-		e.At(r.Arrival, func(e *sim.Engine) {
-			if serve(e, r) {
-				admit(e)
-			}
-		})
-	}
 	if c.SampleEvery > 0 {
 		eng.Every(c.SampleEvery, c.SampleEvery, func(now time.Duration) bool {
 			if done && eng.Pending() == 0 {
@@ -161,7 +145,12 @@ func (c *Controller) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			return true
 		})
 	}
-	admit(eng)
+	sim.Chain(eng, src, func(r disksim.Request) time.Duration {
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		return r.Arrival
+	}, serve, func() { done = true })
 	if err := eng.Run(); err != nil {
 		return Result{}, err
 	}
@@ -290,22 +279,6 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		return true
 	}
 
-	var admit func(e *sim.Engine)
-	admit = func(e *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			done = true
-			return
-		}
-		if firstArrival < 0 {
-			firstArrival = r.Arrival
-		}
-		e.At(r.Arrival, func(e *sim.Engine) {
-			if serve(e, r) {
-				admit(e)
-			}
-		})
-	}
 	if s.SampleEvery > 0 {
 		eng.Every(s.SampleEvery, s.SampleEvery, func(now time.Duration) bool {
 			if done && eng.Pending() == 0 {
@@ -315,7 +288,12 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 			return true
 		})
 	}
-	admit(eng)
+	sim.Chain(eng, src, func(r disksim.Request) time.Duration {
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		return r.Arrival
+	}, serve, func() { done = true })
 	if err := eng.Run(); err != nil {
 		return RampResult{}, err
 	}
@@ -435,19 +413,6 @@ func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink 
 		return true
 	}
 
-	var admit func(e *sim.Engine)
-	admit = func(e *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			done = true
-			return
-		}
-		e.At(r.Arrival, func(e *sim.Engine) {
-			if serve(e, r) {
-				admit(e)
-			}
-		})
-	}
 	if p.SampleEvery > 0 {
 		eng.Every(p.SampleEvery, p.SampleEvery, func(now time.Duration) bool {
 			if done && eng.Pending() == 0 {
@@ -457,7 +422,8 @@ func (p *DRPM) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], sink 
 			return true
 		})
 	}
-	admit(eng)
+	sim.Chain(eng, src, func(r disksim.Request) time.Duration { return r.Arrival },
+		serve, func() { done = true })
 	if err := eng.Run(); err != nil {
 		return DRPMResult{}, err
 	}
@@ -628,22 +594,6 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 		return true
 	}
 
-	var admit func(en *sim.Engine)
-	admit = func(en *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			done = true
-			return
-		}
-		if firstArrival < 0 {
-			firstArrival = r.Arrival
-		}
-		en.At(r.Arrival, func(en *sim.Engine) {
-			if serve(en, r) {
-				admit(en)
-			}
-		})
-	}
 	if e.SampleEvery > 0 {
 		eng.Every(e.SampleEvery, e.SampleEvery, func(now time.Duration) bool {
 			if done && eng.Pending() == 0 {
@@ -654,7 +604,12 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			return true
 		})
 	}
-	admit(eng)
+	sim.Chain(eng, src, func(r disksim.Request) time.Duration {
+		if firstArrival < 0 {
+			firstArrival = r.Arrival
+		}
+		return r.Arrival
+	}, serve, func() { done = true })
 	if err := eng.Run(); err != nil {
 		return EscalationResult{}, err
 	}

@@ -1,0 +1,48 @@
+package raid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentedServeAllocsNothingSteadyState pins the volume hot path at
+// zero steady-state allocations with a live metrics registry attached: once
+// the reusable sub-request buffer has grown to the workload's fan-out and
+// the member caches are warm, Volume.Serve — mapping, member service,
+// slowest-sub join and metric recording — must not allocate.
+func TestInstrumentedServeAllocsNothingSteadyState(t *testing.T) {
+	for _, level := range []Level{JBOD, RAID0, RAID5, RAID1} {
+		t.Run(level.String(), func(t *testing.T) {
+			n := 4
+			if level == RAID1 {
+				n = 2
+			}
+			v := testVolume(t, level, n)
+			reg := obs.NewRegistry()
+			v.Instrument(reg, "vol", level.String())
+
+			id := int64(0)
+			arrival := time.Duration(0)
+			serve := func(write bool) {
+				id++
+				arrival += time.Millisecond
+				r := Request{ID: id, Arrival: arrival, Block: (id * 97) % (v.Capacity() - 64), Sectors: 16, Write: write}
+				if _, err := v.Serve(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 32; i++ { // warm-up: scratch buffer, caches, histograms
+				serve(i%2 == 0)
+			}
+			i := 0
+			if allocs := testing.AllocsPerRun(200, func() {
+				serve(i%2 == 0)
+				i++
+			}); allocs != 0 {
+				t.Fatalf("instrumented %v Serve allocates %v per run, want 0", level, allocs)
+			}
+		})
+	}
+}

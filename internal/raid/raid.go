@@ -105,6 +105,15 @@ type Volume struct {
 	writeBack time.Duration
 	readRR    int // RAID-1 read round-robin cursor
 
+	// subScratch backs mapRequest's result slice, reused from request to
+	// request (the Volume is documented not safe for concurrent use). The
+	// returned fan-out is valid only until the next mapRequest call; every
+	// caller either finishes with it before re-mapping (Serve,
+	// SimulateBatch's per-disk copy, the degraded retry loop) or copies out
+	// (Explode). After the first few requests the buffer has grown to the
+	// workload's widest fan-out and mapping allocates nothing.
+	subScratch []sub
+
 	// Degraded-mode state (see recovery.go).
 	failed   []bool
 	failedAt []time.Duration
@@ -232,15 +241,19 @@ func (v *Volume) mapMirrored(r Request) []sub {
 	req := disksim.Request{
 		ID: r.ID, Arrival: r.Arrival, LBN: r.Block, Sectors: r.Sectors, Write: r.Write,
 	}
+	subs := v.subScratch[:0]
 	if r.Write {
-		return []sub{{0, req}, {1, req}}
+		subs = append(subs, sub{0, req}, sub{1, req})
+	} else {
+		v.readRR++
+		subs = append(subs, sub{v.readRR % 2, req})
 	}
-	v.readRR++
-	return []sub{{v.readRR % 2, req}}
+	v.subScratch = subs
+	return subs
 }
 
 func (v *Volume) mapConcat(r Request) []sub {
-	var subs []sub
+	subs := v.subScratch[:0]
 	block := r.Block
 	remaining := int64(r.Sectors)
 	for remaining > 0 {
@@ -256,6 +269,7 @@ func (v *Volume) mapConcat(r Request) []sub {
 		block += n
 		remaining -= n
 	}
+	v.subScratch = subs
 	return subs
 }
 
@@ -275,7 +289,7 @@ func (v *Volume) stripeLoc(unit int64, raid5 bool) (dataDisk int, diskBase int64
 }
 
 func (v *Volume) mapStriped(r Request, raid5 bool) []sub {
-	var subs []sub
+	subs := v.subScratch[:0]
 	block := r.Block
 	remaining := int64(r.Sectors)
 	for remaining > 0 {
@@ -303,6 +317,7 @@ func (v *Volume) mapStriped(r Request, raid5 bool) []sub {
 		block += n
 		remaining -= n
 	}
+	v.subScratch = subs
 	return subs
 }
 

@@ -57,38 +57,56 @@ func (v *Volume) RunStream(eng *sim.Engine, src sim.Source[Request], sink sim.Si
 	if eng == nil {
 		eng = sim.NewEngine()
 	}
-	var failed error
-	last := time.Duration(-1)
-	var admit func(e *sim.Engine)
-	admit = func(e *sim.Engine) {
-		r, ok := src.Next()
-		if !ok {
-			return
-		}
-		if r.Arrival < last {
-			failed = fmt.Errorf("raid: stream out of order: request %d arrives at %v after %v",
-				r.ID, r.Arrival, last)
-			eng.Fail(failed)
-			return
-		}
-		last = r.Arrival
-		e.At(r.Arrival, func(e *sim.Engine) {
-			c, err := v.Serve(r)
-			if err != nil {
-				failed = err
-				e.Fail(err)
-				return
-			}
-			recordSpan(e.Tracer(), &c)
-			sink.Push(c)
-			admit(e)
-		})
-	}
-	admit(eng)
+	s := &volumeStream{v: v, src: src, sink: sink, last: -1}
+	s.fire = s.serve // one event closure for the whole run, not one per request
+	s.admit(eng)
 	if err := eng.Run(); err != nil {
 		return err
 	}
-	return failed
+	return s.failed
+}
+
+// volumeStream is RunStream's admission state. One struct and one pre-bound
+// event closure carry the entire run — only one admission is outstanding at
+// a time (the next request is pulled after the previous one is served), so
+// the single in-flight request slot suffices and the per-request path
+// allocates nothing.
+type volumeStream struct {
+	v      *Volume
+	src    sim.Source[Request]
+	sink   sim.Sink[Completion]
+	r      Request // the in-flight request, valid between admit and serve
+	last   time.Duration
+	failed error
+	fire   func(*sim.Engine)
+}
+
+func (s *volumeStream) admit(e *sim.Engine) {
+	r, ok := s.src.Next()
+	if !ok {
+		return
+	}
+	if r.Arrival < s.last {
+		s.failed = fmt.Errorf("raid: stream out of order: request %d arrives at %v after %v",
+			r.ID, r.Arrival, s.last)
+		e.Fail(s.failed)
+		return
+	}
+	s.last = r.Arrival
+	s.r = r
+	e.At(r.Arrival, s.fire)
+}
+
+func (s *volumeStream) serve(e *sim.Engine) {
+	c, err := s.v.Serve(s.r)
+	if err != nil {
+		s.failed = err
+		e.Fail(err)
+		return
+	}
+	recordSpan(e.Tracer(), &c)
+	s.sink.Push(c)
+	s.admit(e)
 }
 
 // RunStreamCtx is RunStream with cooperative cancellation: the source is

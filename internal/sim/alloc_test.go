@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineQueueAllocFreeSteadyState pins the slice-backed event heap's
+// reason for existing: once the queue slice has grown to its working
+// capacity, scheduling and firing events allocates nothing (the old
+// container/heap implementation boxed every event into an `any` on both
+// Push and Pop).
+func TestEngineQueueAllocFreeSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < 64; i++ { // grow the queue's backing array
+		e.At(time.Duration(i)*time.Millisecond, fn)
+	}
+	for e.Step() {
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		e.After(time.Millisecond, fn)
+		e.After(2*time.Millisecond, fn)
+		e.Step()
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("warm engine allocates %v per schedule/fire cycle, want 0", n)
+	}
+}
+
+// TestChainAllocFreePerItem pins Chain's contract: after setup, admitting
+// and serving each item reuses the chain's single event closure instead of
+// allocating one per item. Each engine Step serves the in-flight item and
+// admits the next, so measuring a warm Step measures the whole per-item
+// cycle.
+func TestChainAllocFreePerItem(t *testing.T) {
+	const total = 4096
+	e := NewEngine()
+	i := 0
+	src := SourceFunc[int](func() (int, bool) {
+		if i >= total {
+			return 0, false
+		}
+		i++
+		return i, true
+	})
+	served := 0
+	ended := false
+	Chain(e, src, func(int) time.Duration { return e.Now() },
+		func(*Engine, int) bool { served++; return true }, func() { ended = true })
+	for j := 0; j < 16; j++ { // warm the queue's backing array
+		if !e.Step() {
+			t.Fatal("chain drained during warm-up")
+		}
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if !e.Step() {
+			t.Fatal("chain drained during measurement")
+		}
+	}); n != 0 {
+		t.Fatalf("chained admission allocates %v per item, want 0", n)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != total || !ended {
+		t.Fatalf("served %d (want %d), ended=%v", served, total, ended)
+	}
+}

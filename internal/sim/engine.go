@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -30,33 +29,31 @@ type event struct {
 	fn  func(*Engine)
 }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the heap order: (at, seq). seq is unique, so the order is total
+// and every correct heap pops the identical sequence — the determinism
+// contract does not depend on the heap's internal layout.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is the event loop: a clock that only moves forward and a queue of
 // pending events. The zero value is not usable; call NewEngine.
+//
+// The queue is a hand-rolled binary min-heap on a plain slice rather than
+// container/heap: the standard interface boxes every Push/Pop element into
+// an `any`, which cost two heap allocations per event and made the queue the
+// largest allocation site on the streaming request path. The slice-backed
+// heap admits and pops events with zero per-event allocations (growth is
+// amortized by append), and the streaming runners' one-admission-in-flight
+// pattern keeps it nearly empty, so a same-tick or later event's sift-up
+// terminates after a single comparison.
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventHeap
+	queue   []event
 	err     error
 	stopped bool
 	tracer  *obs.Tracer
@@ -87,12 +84,66 @@ func (e *Engine) At(at time.Duration, fn func(*Engine)) {
 	if at < e.now {
 		at = e.now
 	}
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{at: at, seq: e.seq, fn: fn})
 	e.seq++
+	e.siftUp(len(e.queue) - 1)
 }
 
 // After schedules fn d from now (negative d fires at the current instant).
 func (e *Engine) After(d time.Duration, fn func(*Engine)) { e.At(e.now+d, fn) }
+
+// siftUp restores the heap property after an append at index i.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].before(ev) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the minimum event. Callers guarantee the queue is
+// non-empty. The vacated slot's fn is cleared so the GC can reclaim the
+// handler once it has run.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{}
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown re-inserts ev at the root of the shrunk heap.
+func (e *Engine) siftDown(ev event) {
+	q := e.queue
+	n := len(q)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && q[r].before(q[c]) {
+			c = r
+		}
+		if !q[c].before(ev) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	q[i] = ev
+}
 
 // Fail aborts the run: Run returns err once the current handler finishes.
 func (e *Engine) Fail(err error) {
@@ -110,7 +161,7 @@ func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	if ev.at > e.now {
 		e.now = ev.at
 	}
