@@ -50,6 +50,19 @@ func (p *DRPM) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source
 	return res, nil
 }
 
+// RunStreamCtx is PredictiveController.RunStream with cooperative
+// cancellation.
+func (pc *PredictiveController) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (PredictiveResult, error) {
+	res, err := pc.RunStream(eng, sim.Gate(ctx, src), sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return PredictiveResult{}, err
+	}
+	return res, nil
+}
+
 // RunStreamCtx is Escalation.RunStream with cooperative cancellation.
 func (e *Escalation) RunStreamCtx(ctx context.Context, eng *sim.Engine, src sim.Source[disksim.Request], sink sim.Sink[disksim.Completion]) (EscalationResult, error) {
 	res, err := e.RunStream(eng, sim.Gate(ctx, src), sink)

@@ -149,7 +149,7 @@ func TestThrottleValidation(t *testing.T) {
 }
 
 // buildDTMDisk assembles a 2.6" single-platter disk at an average-case speed.
-func buildDTMDisk(t *testing.T, rpm units.RPM) (*disksim.Disk, *thermal.Model) {
+func buildDTMDisk(t testing.TB, rpm units.RPM) (*disksim.Disk, *thermal.Model) {
 	t.Helper()
 	geom := thermal.ReferenceDrive
 	bpi, tpi := scaling.DefaultTrend().Densities(2005)
@@ -169,7 +169,7 @@ func buildDTMDisk(t *testing.T, rpm units.RPM) (*disksim.Disk, *thermal.Model) {
 }
 
 // dtmWorkload builds a random workload long enough to heat the drive.
-func dtmWorkload(t *testing.T, total int64, n int, rate float64) []disksim.Request {
+func dtmWorkload(t testing.TB, total int64, n int, rate float64) []disksim.Request {
 	t.Helper()
 	rng := rand.New(rand.NewSource(7))
 	reqs := make([]disksim.Request, n)

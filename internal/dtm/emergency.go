@@ -65,8 +65,26 @@ type Escalation struct {
 	StepAt, ThrottleAt, OfflineAt units.Celsius
 
 	// Hysteresis is how far the drive must cool below a stage's onset
-	// before the controller de-escalates past it (0 = 1 C).
+	// before the controller de-escalates past it (0 = 1 C). It is the
+	// shared fallback band; the per-stage Bands below override it.
 	Hysteresis units.Celsius
+
+	// StepBand, ThrottleBand and OfflineBand optionally give each stage its
+	// own engage/release margins below that stage's onset temperature, so
+	// the rungs re-arm independently instead of sharing one Hysteresis
+	// line. A zero band keeps the historic behaviour for that stage:
+	// engage exactly at onset, release Hysteresis below it (the offline
+	// stage's historic release is StepAt - Hysteresis, deep enough to walk
+	// back down the whole ladder).
+	StepBand, ThrottleBand, OfflineBand Band
+
+	// OverAt is the threshold the TimeOverThreshold integral measures
+	// against (0 = thermal.Envelope).
+	OverAt units.Celsius
+
+	// FlapWindow is the re-arm window within which a stage engagement
+	// counts as a flap of that stage (0 = 5 s).
+	FlapWindow time.Duration
 
 	// Ambient is the external temperature (0 = default 28 C).
 	Ambient units.Celsius
@@ -105,6 +123,13 @@ type EscalationResult struct {
 	StepDowns, Throttles, Offlines int
 	ThrottledTime, OfflineTime     time.Duration
 
+	// Flaps counts stage engagements within FlapWindow of the same stage's
+	// previous release; TimeOverThreshold integrates sim time spent at or
+	// above OverAt. Both are pure observations of the existing control
+	// loop.
+	Flaps             int
+	TimeOverThreshold time.Duration
+
 	// Retries and Remaps are the injected-fault outcomes (zero without an
 	// injector). DiskFailed is set if the drive died mid-run; the
 	// completions then cover only the requests before the failure.
@@ -134,6 +159,41 @@ func (e *Escalation) hysteresis() units.Celsius {
 		return 1
 	}
 	return e.Hysteresis
+}
+
+// stageLines resolves each stage's engage and release temperatures from the
+// per-stage bands, falling back to the shared hysteresis where a band is
+// unset. Defaults reproduce the historic single-band ladder exactly:
+// engage at stage onset, release Hysteresis below it — except the offline
+// stage, whose historic release line is StepAt - Hysteresis (cool enough to
+// walk back down the whole ladder in one excursion).
+func (e *Escalation) stageLines() (stepEngage, stepRelease, thrEngage, thrRelease, offEngage, offRelease units.Celsius) {
+	stepAt, throttleAt, offlineAt := e.stageTemps()
+	hys := e.hysteresis()
+
+	sb := e.StepBand
+	if sb.isZero() {
+		sb = Band{Release: hys}
+	}
+	tb := e.ThrottleBand
+	if tb.isZero() {
+		tb = Band{Release: hys}
+	}
+	stepEngage, stepRelease = sb.engageAt(stepAt), sb.releaseAt(stepAt)
+	thrEngage, thrRelease = tb.engageAt(throttleAt), tb.releaseAt(throttleAt)
+	if ob := e.OfflineBand; ob.isZero() {
+		offEngage, offRelease = offlineAt, stepAt-hys
+	} else {
+		offEngage, offRelease = ob.engageAt(offlineAt), ob.releaseAt(offlineAt)
+	}
+	return
+}
+
+func (e *Escalation) flapWindow() time.Duration {
+	if e.FlapWindow == 0 {
+		return defaultFlapWindow
+	}
+	return e.FlapWindow
 }
 
 func (e *Escalation) ambientTemp() units.Celsius {

@@ -22,6 +22,11 @@ type Instruments struct {
 	throttledNs *obs.Counter // accumulated throttle pause, ns
 	transitions *obs.Counter // spindle-speed transitions (ramp/DRPM/steps)
 	offlines    *obs.Counter // emergency stage-3 spin-downs
+
+	earlyThrottles  *obs.Counter // predictive-stage pauses (before the limit)
+	predErrSamples  *obs.Counter // one-step-ahead extrapolations scored
+	predErrMilliC   *obs.Counter // accumulated |prediction error|, milli-°C
+	predErrPeakMilC *obs.Gauge   // worst |prediction error| seen, milli-°C
 }
 
 // NewInstruments registers the DTM metric set on reg, labelled with the
@@ -39,6 +44,11 @@ func NewInstruments(reg *obs.Registry, policy string, labels ...string) *Instrum
 		throttledNs: reg.Counter("dtm_throttled_ns_total", l...),
 		transitions: reg.Counter("dtm_rpm_transitions_total", l...),
 		offlines:    reg.Counter("dtm_offline_events_total", l...),
+
+		earlyThrottles:  reg.Counter("dtm_predictive_early_throttles_total", l...),
+		predErrSamples:  reg.Counter("dtm_prediction_error_samples_total", l...),
+		predErrMilliC:   reg.Counter("dtm_prediction_abs_error_millicelsius_total", l...),
+		predErrPeakMilC: reg.Gauge("dtm_prediction_abs_error_peak_millicelsius", l...),
 	}
 }
 
@@ -75,6 +85,30 @@ func (ins *Instruments) offline(pause time.Duration) {
 	}
 	ins.offlines.Inc()
 	ins.throttledNs.AddDuration(pause)
+}
+
+// earlyThrottle counts one predictive-stage pause of the given length. The
+// pause time folds into the shared throttled-ns total so the combined
+// counter stays comparable across policies.
+func (ins *Instruments) earlyThrottle(pause time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.earlyThrottles.Inc()
+	ins.throttledNs.AddDuration(pause)
+}
+
+// predictionError scores one one-step-ahead extrapolation against the
+// measured temperature. The absolute error accumulates in milli-°C (mean =
+// total / samples); the gauge tracks the worst single miss.
+func (ins *Instruments) predictionError(absErrC float64) {
+	if ins == nil {
+		return
+	}
+	m := int64(absErrC * 1000)
+	ins.predErrSamples.Inc()
+	ins.predErrMilliC.Add(m)
+	ins.predErrPeakMilC.Max(float64(m))
 }
 
 // throttleSpan emits a DTM control-episode span (throttle pause, offline

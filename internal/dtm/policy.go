@@ -178,6 +178,22 @@ type SlackRamp struct {
 	// SpinTransition is the speed-change time (default 2 s).
 	SpinTransition time.Duration
 
+	// Initial optionally warm-starts the thermal state (nil = the drive
+	// soaked at ambient).
+	Initial *thermal.State
+
+	// OverAt is the threshold the TimeOverThreshold integral measures
+	// against (0 = thermal.Envelope).
+	OverAt units.Celsius
+
+	// FlapWindow is the re-arm window within which a boost counts as a
+	// flap when it follows the previous drop that closely (0 = 5 s).
+	FlapWindow time.Duration
+
+	// Faults, when non-nil, is installed on the disk with its Temp bound
+	// to the run's transient, as in Escalation.
+	Faults *ThermalFaults
+
 	// SampleEvery, when positive, adds a periodic temperature-observation
 	// tick on the event-engine clock during RunStream (zero = off).
 	SampleEvery time.Duration
@@ -190,10 +206,27 @@ type SlackRamp struct {
 // RampResult summarises a slack-ramp run.
 type RampResult struct {
 	MeanResponseMillis float64
-	MaxAirTemp         units.Celsius
-	BoostedTime        time.Duration
-	Transitions        int
-	Elapsed            time.Duration
+
+	// P95ResponseMillis is a streaming P² estimate (both Run and RunStream;
+	// the ramp keeps no completion slice).
+	P95ResponseMillis float64
+
+	MaxAirTemp  units.Celsius
+	BoostedTime time.Duration
+	Transitions int
+
+	// Flaps counts boosts landing within FlapWindow of the previous drop;
+	// TimeOverThreshold integrates sim time at or above OverAt.
+	Flaps             int
+	TimeOverThreshold time.Duration
+
+	// Retries and Remaps are the injected-fault outcomes (zero without an
+	// injector); DiskFailed/FailedAt mirror Escalation's graceful death.
+	Retries, Remaps int64
+	DiskFailed      bool
+	FailedAt        time.Duration
+
+	Elapsed time.Duration
 }
 
 // Run services the requests under the slack-ramping policy. It is the batch

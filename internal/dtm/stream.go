@@ -198,12 +198,33 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		trans = 2 * time.Second
 	}
 
-	tr := s.Thermal.NewTransient(thermal.Uniform(amb))
+	start0 := thermal.Uniform(amb)
+	if s.Initial != nil {
+		start0 = *s.Initial
+	}
+	tr := s.Thermal.NewTransient(start0)
 	clock := time.Duration(0)
 	boosted := false
 	var res RampResult
 	var mean stats.Running
-	maxT := amb
+	p95 := stats.MustP2(0.95)
+	maxT := start0.Air
+	overAt := s.OverAt
+	if overAt == 0 {
+		overAt = thermal.Envelope
+	}
+	over := overTracker{limit: overAt}
+	fw := s.FlapWindow
+	if fw == 0 {
+		fw = defaultFlapWindow
+	}
+	flaps := flapTracker{window: fw}
+
+	if s.Faults != nil {
+		s.Faults.Temp = func(time.Duration) units.Celsius { return tr.State().Air }
+		s.Disk.SetFaults(s.Faults)
+		defer s.Disk.SetFaults(nil)
+	}
 
 	load := func(duty float64) thermal.Load {
 		rpm := base
@@ -219,6 +240,7 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		}
 		t := tr.State().Air
 		s.Ins.noteTemp(t)
+		over.observe(clock, t)
 		if t > maxT {
 			maxT = t
 		}
@@ -240,6 +262,7 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		case !boosted && air <= rampAt:
 			boosted = true
 			res.Transitions++
+			flaps.engage(clock)
 			clock += trans
 			s.Ins.transition()
 			throttleSpan(e, "dtm.rpm_transition", clock-trans, clock, air)
@@ -253,6 +276,7 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 			boosted = false
 			res.Transitions++
 			clock += trans
+			flaps.release(clock)
 			s.Ins.transition()
 			throttleSpan(e, "dtm.rpm_transition", clock-trans, clock, air)
 			s.Disk.Delay(clock)
@@ -265,6 +289,13 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 
 		comp, err := s.Disk.Serve(r)
 		if err != nil {
+			if errors.Is(err, disksim.ErrDiskFailed) {
+				// The drive died mid-run: end the stream gracefully.
+				res.DiskFailed = true
+				res.FailedAt = s.Disk.FailedAt()
+				done = true
+				return false
+			}
 			failed = err
 			e.Fail(err)
 			return false
@@ -274,6 +305,7 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		}
 		advance(comp.Finish, 1)
 		mean.Add(comp.Response())
+		p95.Add(comp.Response())
 		res.Elapsed = comp.Finish - firstArrival
 		sink.Push(comp)
 		return true
@@ -301,7 +333,12 @@ func (s *SlackRamp) RunStream(eng *sim.Engine, src sim.Source[disksim.Request], 
 		return RampResult{}, failed
 	}
 	res.MeanResponseMillis = mean.Mean()
+	res.P95ResponseMillis = p95.Value()
 	res.MaxAirTemp = maxT
+	res.Flaps = flaps.flaps
+	res.TimeOverThreshold = over.over
+	res.Retries = s.Disk.Retries()
+	res.Remaps = s.Disk.Remapped()
 	return res, nil
 }
 
@@ -461,9 +498,8 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 	if eng == nil {
 		eng = sim.NewEngine()
 	}
-	stepAt, throttleAt, offlineAt := e.stageTemps()
+	stepEngage, stepRelease, thrEngage, thrRelease, offEngage, offRelease := e.stageLines()
 	amb := e.ambientTemp()
-	hys := e.hysteresis()
 
 	start0 := thermal.Uniform(amb)
 	if e.Initial != nil {
@@ -493,9 +529,21 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 	var mean stats.Running
 	p95 := stats.MustP2(0.95)
 	maxT := start0.Air
+	overAt := e.OverAt
+	if overAt == 0 {
+		overAt = thermal.Envelope
+	}
+	over := overTracker{limit: overAt}
+	fw := e.flapWindow()
+	stepFlaps := flapTracker{window: fw}
+	thrFlaps := flapTracker{window: fw}
+	offFlaps := flapTracker{window: fw}
+	offCool := func(s thermal.State) bool { return s.Air <= offRelease }
+	thrCool := func(s thermal.State) bool { return s.Air <= thrRelease }
 	note := func() {
 		t := tr.State().Air
 		e.Ins.noteTemp(t)
+		over.observe(clock, t)
 		if t > maxT {
 			maxT = t
 		}
@@ -517,14 +565,14 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 		// Escalate, hottest stage first; each stage leaves the drive cool
 		// enough that the next check falls through.
 		air := tr.State().Air
-		if air >= offlineAt {
+		if air >= offEngage {
 			// Stage 3: spin down and go offline until cooled.
 			res.Offlines++
+			offFlaps.engage(clock)
 			trans := e.spinTransition()
 			pause, _ := tr.AdvanceUntil(
 				thermal.Load{RPM: 0, VCMDuty: 0, Ambient: amb},
-				offlineCoolLimit,
-				func(s thermal.State) bool { return s.Air <= stepAt-hys })
+				offlineCoolLimit, offCool)
 			pause += 2 * trans // spin-down and spin-up
 			clock += pause
 			res.OfflineTime += pause
@@ -532,24 +580,29 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 			throttleSpan(en, "dtm.offline", clock-pause, clock, tr.State().Air)
 			e.Disk.Delay(clock)
 			air = tr.State().Air
+			over.observe(clock, air)
+			offFlaps.release(clock)
 		}
-		if air >= throttleAt {
+		if air >= thrEngage {
 			// Stage 2: VCM-off throttling at the current spindle speed.
 			res.Throttles++
-			pause, _ := tr.AdvanceUntil(load(0), coolLimit,
-				func(s thermal.State) bool { return s.Air <= throttleAt-hys })
+			thrFlaps.engage(clock)
+			pause, _ := tr.AdvanceUntil(load(0), coolLimit, thrCool)
 			clock += pause
 			res.ThrottledTime += pause
 			e.Ins.throttle(pause)
 			throttleSpan(en, "dtm.throttle", clock-pause, clock, tr.State().Air)
 			e.Disk.Delay(clock)
 			air = tr.State().Air
+			over.observe(clock, air)
+			thrFlaps.release(clock)
 		}
 		switch {
-		case air >= stepAt && level < len(levels)-1:
+		case air >= stepEngage && level < len(levels)-1:
 			// Stage 1: one spindle step down.
 			level++
 			res.StepDowns++
+			stepFlaps.engage(clock)
 			clock += e.spinTransition()
 			e.Ins.transition()
 			throttleSpan(en, "dtm.rpm_transition", clock-e.spinTransition(), clock, air)
@@ -559,7 +612,7 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 				en.Fail(err)
 				return false
 			}
-		case air <= stepAt-hys && level > 0:
+		case air <= stepRelease && level > 0:
 			// De-escalate one step once the drive has cooled.
 			level--
 			e.Ins.transition()
@@ -570,6 +623,7 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 				en.Fail(err)
 				return false
 			}
+			stepFlaps.release(clock)
 		}
 
 		comp, err := e.Disk.Serve(r)
@@ -620,6 +674,8 @@ func (e *Escalation) RunStream(eng *sim.Engine, src sim.Source[disksim.Request],
 	res.MeanResponseMillis = mean.Mean()
 	res.P95ResponseMillis = p95.Value()
 	res.MaxAirTemp = maxT
+	res.Flaps = stepFlaps.flaps + thrFlaps.flaps + offFlaps.flaps
+	res.TimeOverThreshold = over.over
 	res.Retries = e.Disk.Retries()
 	res.Remaps = e.Disk.Remapped()
 	if mean.N() > 0 {

@@ -1,0 +1,134 @@
+// Tournament determinism at the integration layer: the full policy bracket
+// must digest identically at any worker fan-out, and the predictive
+// controller's completion stream must digest identically whether it is run
+// in batch or streamed request by request. Run under -race this is CI's
+// tournament-determinism gate — it exercises the windowed cell fan-out, the
+// in-order merge, and the controller's shared thermal caches concurrently.
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/dtm"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/tournament"
+)
+
+// tournamentDigest runs the bracket and folds every cell line plus the
+// summary, JSON-encoded, into one FNV-64a digest — the same bytes the NDJSON
+// surfaces (CLI and simd job) serve.
+func tournamentDigest(t *testing.T, workers int) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	cfg := tournament.Config{
+		Workloads: []string{"TPC-C", "Search-Engine", "TPC-H"},
+		Requests:  800,
+		Seed:      13,
+		Workers:   workers,
+	}
+	sum, err := tournament.Run(context.Background(), cfg, func(c tournament.Cell) error {
+		return enc.Encode(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(sum); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// TestTournamentDigestWorkerInvariance: one goroutine and an 8-way fan-out
+// must produce the same digest — cells are merged in enumeration order and
+// every cell value is spec-determined.
+func TestTournamentDigestWorkerInvariance(t *testing.T) {
+	seq := tournamentDigest(t, 1)
+	par := tournamentDigest(t, 8)
+	if seq != par {
+		t.Fatalf("tournament digest differs across worker counts: %016x vs %016x", seq, par)
+	}
+}
+
+// predictiveStreamDigest builds the 2005 reference drive, streams a seeded
+// workload through the predictive controller, and digests every completion
+// plus the result summary.
+func predictiveStreamDigest(t *testing.T, stream bool) uint64 {
+	t.Helper()
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{
+		Geometry: thermal.ReferenceDrive, BPI: bpi, TPI: tpi, Zones: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := disksim.New(disksim.Config{Layout: layout, RPM: 24534})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thermal.New(thermal.ReferenceDrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := th.SteadyState(thermal.WorstCase(24534))
+	warm.Air = thermal.Envelope - 4
+
+	rng := rand.New(rand.NewSource(29))
+	total := disk.Layout().TotalSectors()
+	reqs := make([]disksim.Request, 5000)
+	now := 0.0
+	for i := range reqs {
+		now += rng.ExpFloat64() / 150
+		reqs[i] = disksim.Request{
+			ID:      int64(i),
+			Arrival: time.Duration(now * float64(time.Second)),
+			LBN:     rng.Int63n(total - 64),
+			Sectors: 8,
+			Write:   rng.Float64() < 0.3,
+		}
+	}
+
+	ctl := dtm.PredictiveController{Disk: disk, Thermal: th, Mode: dtm.VCMOnly, Initial: &warm}
+	h := fnv.New64a()
+	var res dtm.PredictiveResult
+	var completions []disksim.Completion
+	if stream {
+		var collect sim.Appender[disksim.Completion]
+		res, err = ctl.RunStream(sim.NewEngine(), sim.FromSlice(reqs), &collect)
+		completions = collect.Items
+	} else {
+		res, err = ctl.Run(reqs)
+		completions = res.Completions
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range completions {
+		fmt.Fprintf(h, "%d %d %d %d\n", c.Request.ID, int64(c.Start), int64(c.Finish), c.Retries)
+	}
+	fmt.Fprintf(h, "max %v over %d early %d reactive %d flaps %d\n",
+		res.MaxAirTemp, int64(res.TimeOverThreshold), res.EarlyThrottles,
+		res.ReactiveThrottles, res.Flaps)
+	return h.Sum64()
+}
+
+// TestPredictiveStreamDigestMatchesBatch: the streaming controller is the
+// batch controller — same completions, same thermal trajectory, same
+// throttle decisions, one digest.
+func TestPredictiveStreamDigestMatchesBatch(t *testing.T) {
+	batch := predictiveStreamDigest(t, false)
+	stream := predictiveStreamDigest(t, true)
+	if batch != stream {
+		t.Fatalf("predictive digest differs batch vs stream: %016x vs %016x", batch, stream)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -20,6 +21,8 @@ func FuzzJobSpec(f *testing.F) {
 	f.Add([]byte(`{"type":"fleet","fleet":{"racks":2,"chassis_per_rack":2,"slots_per_chassis":4,` +
 		`"placement":"coolest","migrate_at_c":40,"cooling_failure":{"rack":-1,"duration_ms":2000,"delta_c":10}}}`))
 	f.Add([]byte(`{"type":"fleet","fleet":{"racks":10000,"chassis_per_rack":1000,"slots_per_chassis":64}}`))
+	f.Add([]byte(`{"type":"tournament"}`))
+	f.Add([]byte(`{"type":"tournament","tournament":{"workloads":["TPC-C"],"requests":500}}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"type":"roadmap","bogus":1}`))
 	f.Add([]byte(`{"type":"roadmap","workers":-1}`))
@@ -38,6 +41,44 @@ func FuzzJobSpec(f *testing.F) {
 		case http.StatusAccepted, http.StatusBadRequest, http.StatusTooManyRequests:
 		default:
 			t.Fatalf("spec %q: status %d outside the admission contract", body, w.Code)
+		}
+	})
+}
+
+// FuzzTournamentSpec targets the tournament block's validator directly:
+// arbitrary JSON must never panic validation, admission must be
+// deterministic (same spec, same verdict), and a spec the sync path admits
+// must also be admissible async — the async gate is strictly looser.
+func FuzzTournamentSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workloads":["TPC-C","Search-Engine"],"requests":600,"seed":7}`))
+	f.Add([]byte(`{"policies":["predictive"],"regimes":["fault"],"lead_time_ms":8000,"load_scale":3}`))
+	f.Add([]byte(`{"policies":["nonsense"]}`))
+	f.Add([]byte(`{"requests":-1}`))
+	f.Add([]byte(`{"requests":200000}`))
+	f.Add([]byte(`{"load_scale":1e308}`))
+
+	cfg := testConfig().withDefaults()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var ts TournamentSpec
+		if err := json.Unmarshal(body, &ts); err != nil {
+			return
+		}
+		spec := Spec{Type: TypeTournament, Tournament: &ts}
+		syncErr := spec.validate(cfg, false)
+		asyncErr := spec.validate(cfg, true)
+		if again := spec.validate(cfg, false); (again == nil) != (syncErr == nil) {
+			t.Fatalf("validation not deterministic for %s", body)
+		}
+		if syncErr == nil && asyncErr != nil {
+			t.Fatalf("sync-admissible spec rejected async: %v (%s)", asyncErr, body)
+		}
+		if asyncErr == nil {
+			// Anything the server admits must be runnable by the engine's
+			// own validator with the same verdict.
+			if err := ts.config(1, nil).Validate(); err != nil {
+				t.Fatalf("admitted spec fails engine validation: %v (%s)", err, body)
+			}
 		}
 	})
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/tournament"
 	"repro/internal/trace"
 )
 
@@ -17,6 +19,8 @@ const (
 	TypeDTM     = "dtm"     // internal/dtm closed-loop policy run
 	TypeRAID    = "raid"    // internal/raid degraded-mode / recovery run
 	TypeFleet   = "fleet"   // internal/fleet datacenter-scale thermal run
+
+	TypeTournament = "tournament" // internal/tournament policy head-to-head
 )
 
 // Status is a job's lifecycle state. Transitions only move forward:
@@ -52,11 +56,12 @@ type Spec struct {
 	// ceiling, not a default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
-	Roadmap *RoadmapSpec `json:"roadmap,omitempty"`
-	Figure4 *Figure4Spec `json:"figure4,omitempty"`
-	DTM     *DTMSpec     `json:"dtm,omitempty"`
-	RAID    *RAIDSpec    `json:"raid,omitempty"`
-	Fleet   *FleetSpec   `json:"fleet,omitempty"`
+	Roadmap    *RoadmapSpec    `json:"roadmap,omitempty"`
+	Figure4    *Figure4Spec    `json:"figure4,omitempty"`
+	DTM        *DTMSpec        `json:"dtm,omitempty"`
+	RAID       *RAIDSpec       `json:"raid,omitempty"`
+	Fleet      *FleetSpec      `json:"fleet,omitempty"`
+	Tournament *TournamentSpec `json:"tournament,omitempty"`
 }
 
 // RoadmapSpec parameterizes a roadmap job (internal/scaling.Roadmap).
@@ -155,6 +160,69 @@ type CoolingFailureSpec struct {
 	DeltaC     float64 `json:"delta_c"`
 }
 
+// TournamentSpec parameterizes a policy tournament (internal/tournament):
+// every listed policy runs every listed workload under every listed regime
+// on identical request streams, and the job streams one "cell" line per
+// result plus a closing "summary". Empty lists take the package's full
+// bracket; cells are the deterministic checkpoint positions.
+type TournamentSpec struct {
+	Policies  []string `json:"policies,omitempty"`  // empty = reactive, predictive, slack-ramp
+	Workloads []string `json:"workloads,omitempty"` // empty = all five paper workloads
+	Regimes   []string `json:"regimes,omitempty"`   // empty = clean, fault
+
+	Requests   int     `json:"requests,omitempty"`     // per cell, 0 = 4000
+	Seed       int64   `json:"seed,omitempty"`         // 0 = 11
+	LeadTimeMS int64   `json:"lead_time_ms,omitempty"` // predictive horizon, 0 = policy default
+	LoadScale  float64 `json:"load_scale,omitempty"`   // arrival-rate multiplier, 0 = 2
+}
+
+// config maps the wire spec onto the tournament engine's configuration.
+func (t *TournamentSpec) config(workers int, reg *obs.Registry) tournament.Config {
+	return tournament.Config{
+		Policies:  t.Policies,
+		Workloads: t.Workloads,
+		Regimes:   t.Regimes,
+		Requests:  t.Requests,
+		Seed:      t.Seed,
+		LeadTime:  time.Duration(t.LeadTimeMS) * time.Millisecond,
+		LoadScale: t.LoadScale,
+		Workers:   workers,
+		Registry:  reg,
+	}
+}
+
+func (t *TournamentSpec) validate(cfg Config, async bool) error {
+	tc := t.config(1, nil)
+	if err := tc.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case t.Requests < 0 || t.Requests > cfg.MaxRequests:
+		return fmt.Errorf("requests %d outside [0,%d]", t.Requests, cfg.MaxRequests)
+	case t.LeadTimeMS < 0 || t.LeadTimeMS > 600000:
+		return fmt.Errorf("lead_time_ms %d outside [0,600000]", t.LeadTimeMS)
+	case t.LoadScale > 100:
+		return fmt.Errorf("load_scale %g outside [0,100]", t.LoadScale)
+	case len(t.Policies) > 16 || len(t.Workloads) > 16 || len(t.Regimes) > 16:
+		return fmt.Errorf("tournament axes capped at 16 entries each")
+	}
+	// Size is bounded per submission path, like fleet: work is the total
+	// simulated request count across the bracket.
+	requests := t.Requests
+	if requests == 0 {
+		requests = 4000
+	}
+	work := int64(tc.Cells()) * int64(requests)
+	if work > cfg.MaxTournamentWork {
+		return fmt.Errorf("tournament of %d cell-requests exceeds the %d cap", work, cfg.MaxTournamentWork)
+	}
+	if !async && work > cfg.MaxSyncTournamentWork {
+		return fmt.Errorf("tournament of %d cell-requests exceeds the synchronous cap of %d; submit with ?async=1 and poll the result",
+			work, cfg.MaxSyncTournamentWork)
+	}
+	return nil
+}
+
 // dtmPolicies is the accepted DTMSpec.Policy set.
 var dtmPolicies = map[string]bool{
 	"envelope": true, "watermark": true, "slack-ramp": true,
@@ -169,7 +237,7 @@ var dtmPolicies = map[string]bool{
 // holds an open connection for the whole run.
 func (s Spec) validate(cfg Config, async bool) error {
 	blocks := 0
-	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil, s.Fleet != nil} {
+	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil, s.Fleet != nil, s.Tournament != nil} {
 		if set {
 			blocks++
 		}
@@ -206,6 +274,15 @@ func (s Spec) validate(cfg Config, async bool) error {
 			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
 		}
 		return s.Fleet.validate(cfg, async)
+	case TypeTournament:
+		if blocks > 1 || (blocks == 1 && s.Tournament == nil) {
+			return fmt.Errorf("type %q takes only a %q block", s.Type, s.Type)
+		}
+		t := s.Tournament
+		if t == nil {
+			t = &TournamentSpec{} // all defaults
+		}
+		return t.validate(cfg, async)
 	case "":
 		return fmt.Errorf("missing job type")
 	default:

@@ -50,6 +50,13 @@ type Config struct {
 	MaxFleetDrives     int
 	MaxSyncFleetDrives int
 
+	// MaxTournamentWork caps a tournament job's total simulated requests
+	// (cells × per-cell requests) regardless of submission path (default
+	// 2,000,000). MaxSyncTournamentWork is the tighter synchronous bound
+	// (default 100,000); larger brackets must go through ?async=1.
+	MaxTournamentWork     int64
+	MaxSyncTournamentWork int64
+
 	// JournalDir enables crash safety: every admission, checkpoint and
 	// completion is fsync-journaled there, and startup replays the log —
 	// completed jobs serve their buffered results, interrupted ones resume
@@ -102,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSyncFleetDrives <= 0 {
 		c.MaxSyncFleetDrives = 20000
+	}
+	if c.MaxTournamentWork <= 0 {
+		c.MaxTournamentWork = 2000000
+	}
+	if c.MaxSyncTournamentWork <= 0 {
+		c.MaxSyncTournamentWork = 100000
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 2000
@@ -595,6 +608,8 @@ func (s *Server) dispatch(ctx context.Context, j *job) (err error) {
 		return runRAID(ctx, j.spec, env)
 	case TypeFleet:
 		return runFleet(ctx, j.spec, env, s.fleetMet)
+	case TypeTournament:
+		return runTournament(ctx, j.spec, env, s.reg)
 	default:
 		return fmt.Errorf("unknown job type %q", j.spec.Type)
 	}

@@ -1,0 +1,522 @@
+// Package tournament runs DTM policies head-to-head: every policy × every
+// workload × every fault regime on the 2005 reference drive, scored into a
+// deterministic table. Each cell is an independent seeded simulation — all
+// policies inside a cell replay the identical request stream — so cells fan
+// out over internal/parallel in fixed windows and are merged back in
+// enumeration order, making the table (and anything streamed from it)
+// byte-identical at every worker count. The paper argues for DTM by
+// simulating regimes and comparing them; this package is that methodology
+// turned into a subsystem.
+package tournament
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/disksim"
+	"repro/internal/dtm"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/reliability"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// The entrant policies. "reactive" is the three-stage emergency ladder,
+// "predictive" the trajectory controller with its reactive backstop, and
+// "slack-ramp" the two-speed boost policy.
+const (
+	PolicyReactive   = "reactive"
+	PolicyPredictive = "predictive"
+	PolicySlackRamp  = "slack-ramp"
+)
+
+// The regimes: a clean drive, and one with the temperature-coupled fault
+// injector (off-track retries plus the doubling-law hazard) installed.
+const (
+	RegimeClean = "clean"
+	RegimeFault = "fault"
+)
+
+// DefaultPolicies and DefaultRegimes are the full head-to-head bracket.
+var (
+	DefaultPolicies = []string{PolicyReactive, PolicyPredictive, PolicySlackRamp}
+	DefaultRegimes  = []string{RegimeClean, RegimeFault}
+)
+
+// Config parameterises a tournament.
+type Config struct {
+	// Policies are the entrants, in table order (empty = DefaultPolicies).
+	Policies []string
+
+	// Workloads are trace workload names (empty = all five paper
+	// workloads).
+	Workloads []string
+
+	// Regimes selects clean and/or fault cells (empty = DefaultRegimes).
+	Regimes []string
+
+	// Requests is the per-cell request count (0 = 4000).
+	Requests int
+
+	// Seed derives every cell's request stream and fault injector
+	// (0 = 11, the policy comparison's historic seed).
+	Seed int64
+
+	// LeadTime is the predictive controller's horizon (0 = its default).
+	LeadTime time.Duration
+
+	// LoadScale multiplies each workload's per-disk arrival rate
+	// (0 = 1: the workloads' own rates, which keep every cell's queue
+	// stable so the score reflects the policy rather than saturation).
+	LoadScale float64
+
+	// Workers bounds the parallel cell fan-out (0 = 1).
+	Workers int
+
+	// Registry optionally instruments the controllers (per-policy DTM
+	// metric sets). Counters merge order-free, so totals stay
+	// deterministic at any worker count.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Policies) == 0 {
+		c.Policies = DefaultPolicies
+	}
+	if len(c.Workloads) == 0 {
+		for _, w := range trace.Workloads {
+			c.Workloads = append(c.Workloads, w.Name)
+		}
+	}
+	if len(c.Regimes) == 0 {
+		c.Regimes = DefaultRegimes
+	}
+	if c.Requests == 0 {
+		c.Requests = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.LoadScale == 0 {
+		c.LoadScale = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Validate rejects unknown names and unusable sizes. It validates the
+// post-default view, so a zero Config is valid.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	for _, p := range c.Policies {
+		switch p {
+		case PolicyReactive, PolicyPredictive, PolicySlackRamp:
+		default:
+			return fmt.Errorf("tournament: unknown policy %q", p)
+		}
+	}
+	for _, r := range c.Regimes {
+		switch r {
+		case RegimeClean, RegimeFault:
+		default:
+			return fmt.Errorf("tournament: unknown regime %q", r)
+		}
+	}
+	for _, name := range c.Workloads {
+		if _, err := trace.WorkloadByName(name); err != nil {
+			return err
+		}
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("tournament: negative request count %d", c.Requests)
+	}
+	if c.LoadScale < 0 {
+		return fmt.Errorf("tournament: negative load scale %v", c.LoadScale)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("tournament: negative workers %d", c.Workers)
+	}
+	return nil
+}
+
+// Cells is the table size after defaults.
+func (c Config) Cells() int {
+	c = c.withDefaults()
+	return len(c.Policies) * len(c.Workloads) * len(c.Regimes)
+}
+
+// Cell is one (policy, workload, regime) result row.
+type Cell struct {
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	Regime   string `json:"regime"`
+	Requests int    `json:"requests"`
+
+	MeanMS        float64 `json:"mean_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	MaxAirC       float64 `json:"max_air_c"`
+	TimeOverMS    float64 `json:"time_over_ms"`
+	ThrottledMS   float64 `json:"throttled_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	ThrottleEvents int `json:"throttle_events"`
+	EarlyThrottles int `json:"early_throttles"`
+	Transitions    int `json:"transitions"`
+	Flaps          int `json:"flaps"`
+
+	Retries    int64   `json:"retries"`
+	DiskFailed bool    `json:"disk_failed"`
+	FailedAtMS float64 `json:"failed_at_ms,omitempty"`
+
+	Score float64 `json:"score"`
+}
+
+// Score is the deterministic figure of merit, lower is better:
+//
+//	mean_ms + 0.25·p95_ms          (latency)
+//	+ 2·time_over_threshold_s      (thermal violation)
+//	+ 0.5·flaps + 0.02·episodes    (stability)
+//	+ 1000 if the drive died       (reliability)
+//
+// The weights are fixed constants of the package — the table is a contract,
+// so changing them is a breaking change to the golden artifacts.
+func (c Cell) score() float64 {
+	s := c.MeanMS + 0.25*c.P95MS +
+		2*(c.TimeOverMS/1000) +
+		0.5*float64(c.Flaps) + 0.02*float64(c.ThrottleEvents)
+	if c.DiskFailed {
+		s += 1000
+	}
+	return s
+}
+
+// Winner records the best-scoring policy of one (workload, regime) group.
+type Winner struct {
+	Workload string  `json:"workload"`
+	Regime   string  `json:"regime"`
+	Policy   string  `json:"policy"`
+	Score    float64 `json:"score"`
+}
+
+// PolicyTotal aggregates one policy across the whole bracket.
+type PolicyTotal struct {
+	Policy         string  `json:"policy"`
+	Wins           int     `json:"wins"`
+	MeanMS         float64 `json:"mean_ms"`      // mean of cell means
+	TimeOverMS     float64 `json:"time_over_ms"` // total
+	ThrottleEvents int     `json:"throttle_events"`
+	Flaps          int     `json:"flaps"`
+	Score          float64 `json:"score"` // total
+}
+
+// Summary is the tournament-wide reduction. Slices are in deterministic
+// order: Policies in configuration order, Winners in cell-enumeration
+// order.
+type Summary struct {
+	Cells    int           `json:"cells"`
+	Requests int           `json:"requests"` // per cell
+	Policies []PolicyTotal `json:"policies"`
+	Winners  []Winner      `json:"winners"`
+	Overall  string        `json:"overall"` // most wins, ties to table order
+}
+
+// cellsPerWindow bounds in-flight cells: one workload's full bracket per
+// window at the default configuration.
+const cellsPerWindow = 6
+
+type cellSpec struct {
+	workload  trace.Params
+	regime    string
+	regimeIdx int
+	policy    string
+}
+
+// cellSeed derives the request-stream seed for one (workload, regime)
+// group. Every policy in the group shares it, so the comparison is over
+// identical arrivals; the fault injector draws from an offset of the same
+// seed.
+func cellSeed(base, workloadSeed int64, regimeIdx int) int64 {
+	return base*1000003 + workloadSeed*8191 + int64(regimeIdx)*131
+}
+
+// Run executes the tournament, invoking onCell (which may be nil) for every
+// finished cell in enumeration order — workload-major, then regime, then
+// policy — and returns the summary. Cells fan out over internal/parallel in
+// fixed windows; results are merged in input order, so the emitted stream
+// and the summary are byte-identical at every worker count.
+func Run(ctx context.Context, cfg Config, onCell func(Cell) error) (Summary, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var specs []cellSpec
+	for _, name := range cfg.Workloads {
+		w, err := trace.WorkloadByName(name)
+		if err != nil {
+			return Summary{}, err
+		}
+		for ri, regime := range cfg.Regimes {
+			for _, policy := range cfg.Policies {
+				specs = append(specs, cellSpec{workload: w, regime: regime, regimeIdx: ri, policy: policy})
+			}
+		}
+	}
+
+	ins := make(map[string]*dtm.Instruments, len(cfg.Policies))
+	for _, p := range cfg.Policies {
+		ins[p] = dtm.NewInstruments(cfg.Registry, p, "engine", "tournament")
+	}
+
+	sum := Summary{Cells: len(specs), Requests: cfg.Requests}
+	totals := make(map[string]*PolicyTotal, len(cfg.Policies))
+	for _, p := range cfg.Policies {
+		t := &PolicyTotal{Policy: p}
+		totals[p] = t
+	}
+
+	// The winner of the (workload, regime) group currently being emitted;
+	// groups close on enumeration-order boundaries, never mid-window
+	// issues, because emission below is strictly in order.
+	var open *Winner
+	groupCells := 0
+	closeGroup := func() {
+		if open != nil {
+			totals[open.Policy].Wins++
+			sum.Winners = append(sum.Winners, *open)
+			open = nil
+			groupCells = 0
+		}
+	}
+
+	for w0 := 0; w0 < len(specs); w0 += cellsPerWindow {
+		w1 := w0 + cellsPerWindow
+		if w1 > len(specs) {
+			w1 = len(specs)
+		}
+		window := specs[w0:w1]
+		results, err := parallel.MapCtx(ctx, cfg.Workers, window, func(_ int, s cellSpec) (Cell, error) {
+			return runCell(ctx, cfg, s, ins[s.policy])
+		})
+		if err != nil {
+			return Summary{}, err
+		}
+		for _, cell := range results {
+			t := totals[cell.Policy]
+			t.MeanMS += cell.MeanMS
+			t.TimeOverMS += cell.TimeOverMS
+			t.ThrottleEvents += cell.ThrottleEvents
+			t.Flaps += cell.Flaps
+			t.Score += cell.Score
+
+			if groupCells == len(cfg.Policies) {
+				closeGroup()
+			}
+			if open == nil {
+				open = &Winner{Workload: cell.Workload, Regime: cell.Regime, Policy: cell.Policy, Score: cell.Score}
+			} else if cell.Score < open.Score {
+				open.Policy, open.Score = cell.Policy, cell.Score
+			}
+			groupCells++
+
+			if onCell != nil {
+				if err := onCell(cell); err != nil {
+					return Summary{}, err
+				}
+			}
+		}
+	}
+	closeGroup()
+
+	cellsPerPolicy := len(sum.Winners) // one group per (workload, regime)
+	for _, p := range cfg.Policies {
+		t := totals[p]
+		if cellsPerPolicy > 0 {
+			t.MeanMS /= float64(cellsPerPolicy)
+		}
+		sum.Policies = append(sum.Policies, *t)
+		if sum.Overall == "" || t.Wins > totals[sum.Overall].Wins {
+			sum.Overall = p
+		}
+	}
+	return sum, nil
+}
+
+// runCell executes one policy on one workload under one regime. Every
+// entrant runs the 2005 reference drive from its own speed's worst-case
+// steady state — the paper's average-case-design premise — against the
+// cell's shared request stream.
+func runCell(ctx context.Context, cfg Config, s cellSpec, ins *dtm.Instruments) (Cell, error) {
+	geom := thermal.ReferenceDrive
+	bpi, tpi := scaling.DefaultTrend().Densities(2005)
+	layout, err := capacity.New(capacity.Config{Geometry: geom, BPI: bpi, TPI: tpi, Zones: 50})
+	if err != nil {
+		return Cell{}, err
+	}
+	th, err := thermal.New(geom)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	seed := cellSeed(cfg.Seed, s.workload.Seed, s.regimeIdx)
+	src := Source(s.workload, layout.TotalSectors(), cfg.Requests, cfg.LoadScale, seed)
+	var inj *dtm.ThermalFaults
+	if s.regime == RegimeFault {
+		inj = dtm.NewThermalFaults(dtm.OffTrackModel{}, reliability.Default(), nil, seed+1)
+	}
+
+	newDisk := func(rpm units.RPM) (*disksim.Disk, error) {
+		return disksim.New(disksim.Config{Layout: layout, RPM: rpm})
+	}
+
+	cell := Cell{Policy: s.policy, Workload: s.workload.Name, Regime: s.regime, Requests: cfg.Requests}
+	sink := sim.Discard[disksim.Completion]()
+
+	// The hot-speed entrants open in a thermal emergency: sustained
+	// worst-case load has driven the drive to its worst-case steady state,
+	// 3.5 °C over the envelope — the exact exposure the paper's
+	// average-case-design argument accepts and asks DTM to absorb. Each
+	// cell scores how a policy recovers (latency paid, time spent over the
+	// envelope, control-loop stability) while serving the cell's workload.
+	// A below-envelope start is not an alternative here: at this drive's
+	// ~8-minute thermal time constant and the workloads' real utilisation,
+	// no cell-length run heats across the envelope on its own.
+	hot := th.SteadyState(thermal.WorstCase(hotRPM))
+
+	switch s.policy {
+	case PolicyReactive:
+		disk, err := newDisk(hotRPM)
+		if err != nil {
+			return Cell{}, err
+		}
+		esc := dtm.Escalation{
+			Disk:    disk,
+			Thermal: th,
+			Levels:  []units.RPM{hotRPM, 21000, 18000, envelopeRPM},
+			Initial: &hot,
+			Faults:  inj,
+			Ins:     ins,
+		}
+		res, err := esc.RunStreamCtx(ctx, sim.NewEngine(), src, sink)
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.MeanMS = res.MeanResponseMillis
+		cell.P95MS = res.P95ResponseMillis
+		cell.MaxAirC = float64(res.MaxAirTemp)
+		cell.TimeOverMS = durMS(res.TimeOverThreshold)
+		cell.ThrottledMS = durMS(res.ThrottledTime + res.OfflineTime)
+		cell.ThrottleEvents = res.Throttles + res.Offlines + res.StepDowns
+		cell.Transitions = res.StepDowns
+		cell.Flaps = res.Flaps
+		cell.Retries = res.Retries
+		cell.DiskFailed = res.DiskFailed
+		cell.FailedAtMS = durMS(res.FailedAt)
+		cell.ThroughputRPS = throughput(cfg.Requests, res.Elapsed)
+	case PolicyPredictive:
+		disk, err := newDisk(hotRPM)
+		if err != nil {
+			return Cell{}, err
+		}
+		// Dual-speed throttling, so the entrant has the same cooling lever
+		// as the reactive ladder — VCM-only pauses at full RPM barely cool
+		// near the worst-case steady state and would bury the predictor's
+		// advantage under enormous pause times.
+		// The bands are shallower than the package defaults: at this
+		// drive's ~8-minute thermal time constant a 3.5 °C cool-down is a
+		// multi-minute pause, so the tournament trades cooling depth for
+		// pause time. The backstop's release (1.5 °C under the envelope)
+		// sits below the predictive engage line (within 0.5 °C of it), so
+		// coming out of a backstop pause cannot re-arm the early stage on
+		// request-scale micro-transients.
+		ctl := dtm.PredictiveController{
+			Disk:       disk,
+			Thermal:    th,
+			Mode:       dtm.VCMAndRPM,
+			LowRPM:     envelopeRPM,
+			LeadTime:   cfg.LeadTime,
+			Predictive: dtm.Band{Engage: 0.5, Release: 2},
+			Reactive:   dtm.Band{Engage: 0.05, Release: 1.5},
+			Initial:    &hot,
+			Faults:     inj,
+			Ins:        ins,
+		}
+		res, err := ctl.RunStreamCtx(ctx, sim.NewEngine(), src, sink)
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.MeanMS = res.MeanResponseMillis
+		cell.P95MS = res.P95ResponseMillis
+		cell.MaxAirC = float64(res.MaxAirTemp)
+		cell.TimeOverMS = durMS(res.TimeOverThreshold)
+		cell.ThrottledMS = durMS(res.ThrottledTime)
+		cell.ThrottleEvents = res.ThrottleEvents()
+		cell.EarlyThrottles = res.EarlyThrottles
+		cell.Flaps = res.Flaps
+		cell.Retries = res.Retries
+		cell.DiskFailed = res.DiskFailed
+		cell.FailedAtMS = durMS(res.FailedAt)
+		cell.ThroughputRPS = throughput(cfg.Requests, res.Elapsed)
+	case PolicySlackRamp:
+		disk, err := newDisk(envelopeRPM)
+		if err != nil {
+			return Cell{}, err
+		}
+		warm := th.SteadyState(thermal.WorstCase(envelopeRPM))
+		ramp := dtm.SlackRamp{
+			Disk:     disk,
+			Thermal:  th,
+			BoostRPM: hotRPM,
+			Initial:  &warm,
+			Faults:   inj,
+			Ins:      ins,
+		}
+		res, err := ramp.RunStreamCtx(ctx, sim.NewEngine(), src, sink)
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.MeanMS = res.MeanResponseMillis
+		cell.P95MS = res.P95ResponseMillis
+		cell.MaxAirC = float64(res.MaxAirTemp)
+		cell.TimeOverMS = durMS(res.TimeOverThreshold)
+		cell.ThrottleEvents = res.Transitions
+		cell.Transitions = res.Transitions
+		cell.Flaps = res.Flaps
+		cell.Retries = res.Retries
+		cell.DiskFailed = res.DiskFailed
+		cell.FailedAtMS = durMS(res.FailedAt)
+		cell.ThroughputRPS = throughput(cfg.Requests, res.Elapsed)
+	default:
+		return Cell{}, fmt.Errorf("tournament: unknown policy %q", s.policy)
+	}
+	cell.Score = cell.score()
+	return cell, nil
+}
+
+// The 2005 reference drive's two design points: the paper's average-case
+// speed (whose worst case violates the envelope) and the envelope-design
+// speed — the same pair cmd/dtm's policy comparison uses.
+const (
+	hotRPM      units.RPM = 24534
+	envelopeRPM units.RPM = 15020
+)
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func throughput(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

@@ -1,0 +1,217 @@
+package tournament
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should be valid: %v", err)
+	}
+	cases := []Config{
+		{Policies: []string{"nonsense"}},
+		{Regimes: []string{"hurricane"}},
+		{Workloads: []string{"no-such-trace"}},
+		{Requests: -1},
+		{LoadScale: -2},
+		{Workers: -1},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if got := (Config{}).Cells(); got != 30 {
+		t.Errorf("default bracket = %d cells, want 30 (3 policies × 5 workloads × 2 regimes)", got)
+	}
+}
+
+func TestSourceDeterministicAndInBounds(t *testing.T) {
+	w, err := trace.WorkloadByName("TPC-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = int64(1 << 22)
+	digest := func() uint64 {
+		h := fnv.New64a()
+		src := Source(w, total, 500, 2, 77)
+		last := time.Duration(-1)
+		for {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			if r.Arrival < last {
+				t.Fatalf("arrivals not monotone: %v after %v", r.Arrival, last)
+			}
+			last = r.Arrival
+			if r.LBN < 0 || r.LBN+int64(r.Sectors) > total {
+				t.Fatalf("request out of bounds: lbn=%d sectors=%d", r.LBN, r.Sectors)
+			}
+			if r.Sectors < 1 || r.Sectors > maxRequestSectors {
+				t.Fatalf("bad size %d", r.Sectors)
+			}
+			fmt.Fprintf(h, "%d %d %d %d %v\n", r.ID, r.Arrival, r.LBN, r.Sectors, r.Write)
+		}
+		return h.Sum64()
+	}
+	if digest() != digest() {
+		t.Error("same arguments should replay the identical stream")
+	}
+}
+
+// tinyConfig keeps unit runs fast while still engaging every policy.
+func tinyConfig() Config {
+	return Config{
+		Workloads: []string{"TPC-C", "Search-Engine"},
+		Requests:  800,
+		Workers:   2,
+	}
+}
+
+func runDigest(t *testing.T, cfg Config) (string, Summary) {
+	t.Helper()
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	sum, err := Run(context.Background(), cfg, func(c Cell) error { return enc.Encode(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(sum); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), sum
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	one, sumOne := runDigest(t, cfg)
+	cfg.Workers = 8
+	eight, sumEight := runDigest(t, cfg)
+	if one != eight {
+		t.Fatalf("tournament table differs between workers 1 and 8:\n--- w1 ---\n%s--- w8 ---\n%s", one, eight)
+	}
+	if sumOne.Overall != sumEight.Overall {
+		t.Errorf("overall winner differs: %q vs %q", sumOne.Overall, sumEight.Overall)
+	}
+}
+
+func TestRunShapeAndScoring(t *testing.T) {
+	cfg := tinyConfig()
+	var cells []Cell
+	sum, err := Run(context.Background(), cfg, func(c Cell) error {
+		cells = append(cells, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := cfg.Cells()
+	if len(cells) != wantCells || sum.Cells != wantCells {
+		t.Fatalf("emitted %d cells, summary says %d, want %d", len(cells), sum.Cells, wantCells)
+	}
+	// Enumeration order: workload-major, then regime, then policy.
+	i := 0
+	for _, w := range cfg.Workloads {
+		for _, regime := range DefaultRegimes {
+			for _, policy := range DefaultPolicies {
+				c := cells[i]
+				if c.Workload != w || c.Regime != regime || c.Policy != policy {
+					t.Fatalf("cell %d out of order: got (%s, %s, %s), want (%s, %s, %s)",
+						i, c.Workload, c.Regime, c.Policy, w, regime, policy)
+				}
+				i++
+			}
+		}
+	}
+	groups := len(cfg.Workloads) * len(DefaultRegimes)
+	if len(sum.Winners) != groups {
+		t.Fatalf("%d winners, want %d", len(sum.Winners), groups)
+	}
+	wins := 0
+	for _, pt := range sum.Policies {
+		wins += pt.Wins
+	}
+	if wins != groups {
+		t.Errorf("wins sum to %d, want %d", wins, groups)
+	}
+	for _, c := range cells {
+		if c.Score != c.score() {
+			t.Errorf("cell (%s,%s,%s): stored score %v != recomputed %v",
+				c.Workload, c.Regime, c.Policy, c.Score, c.score())
+		}
+		if c.MeanMS <= 0 || c.ThroughputRPS <= 0 {
+			t.Errorf("cell (%s,%s,%s): degenerate stats %+v", c.Workload, c.Regime, c.Policy, c)
+		}
+	}
+	// Every winner must be the group's minimum score.
+	for g, w := range sum.Winners {
+		group := cells[g*len(DefaultPolicies) : (g+1)*len(DefaultPolicies)]
+		for _, c := range group {
+			if c.Score < w.Score {
+				t.Errorf("group %d: winner %s (%.3f) beaten by %s (%.3f)",
+					g, w.Policy, w.Score, c.Policy, c.Score)
+			}
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinyConfig(), nil); err == nil {
+		t.Error("cancelled context should fail the run")
+	}
+}
+
+func TestRunWithRegistryCountsControlActions(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := tinyConfig()
+	cfg.Registry = reg
+	if _, err := Run(context.Background(), cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var throttles int64
+	for _, s := range snap {
+		if s.Name == "dtm_throttle_events_total" {
+			throttles += s.Count
+		}
+	}
+	if throttles == 0 {
+		t.Error("hot-start tournament should record throttle events on the registry")
+	}
+}
+
+// TestFaultRegimeInjects pins the regimes apart: fault cells must observe
+// retries somewhere in the bracket, clean cells never.
+func TestFaultRegimeInjects(t *testing.T) {
+	cfg := tinyConfig()
+	var cleanRetries, faultRetries int64
+	if _, err := Run(context.Background(), cfg, func(c Cell) error {
+		if c.Regime == RegimeClean {
+			cleanRetries += c.Retries
+		} else {
+			faultRetries += c.Retries
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cleanRetries != 0 {
+		t.Errorf("clean regime recorded %d retries", cleanRetries)
+	}
+	if faultRetries == 0 {
+		t.Error("fault regime recorded no retries despite over-envelope starts")
+	}
+}

@@ -1,0 +1,62 @@
+package tournament
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// maxRequestSectors bounds one request so a pathological geometric draw
+// cannot exceed the layout.
+const maxRequestSectors = 1024
+
+// Source yields workload w projected onto a single drive, lazily and
+// deterministically: Poisson arrivals at the workload's per-disk rate
+// scaled by loadScale, geometric request sizes around the workload's mean,
+// reads per ReadFraction, and sequential continuation per SeqFraction. The
+// sequence depends only on (w, totalSectors, n, loadScale, seed), so every
+// policy in a tournament cell replays identical requests without the trace
+// being materialized.
+func Source(w trace.Params, totalSectors int64, n int, loadScale float64, seed int64) sim.Source[disksim.Request] {
+	rate := w.ArrivalRate / float64(w.Disks) * loadScale
+	contP := 0.0
+	if w.MeanSectors > 1 {
+		contP = float64(w.MeanSectors-1) / float64(w.MeanSectors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	now := 0.0
+	i := 0
+	lastEnd := int64(-1)
+	return sim.SourceFunc[disksim.Request](func() (disksim.Request, bool) {
+		if i >= n {
+			return disksim.Request{}, false
+		}
+		now += rng.ExpFloat64() / rate
+		sectors := 1
+		for rng.Float64() < contP && sectors < maxRequestSectors {
+			sectors++
+		}
+		var lbn int64
+		if lastEnd >= 0 && rng.Float64() < w.SeqFraction {
+			lbn = lastEnd
+			if lbn+int64(sectors) >= totalSectors {
+				lbn = 0
+			}
+		} else {
+			lbn = rng.Int63n(totalSectors - int64(sectors) - 1)
+		}
+		r := disksim.Request{
+			ID:      int64(i),
+			Arrival: time.Duration(now * float64(time.Second)),
+			LBN:     lbn,
+			Sectors: sectors,
+			Write:   rng.Float64() >= w.ReadFraction,
+		}
+		lastEnd = lbn + int64(sectors)
+		i++
+		return r, true
+	})
+}
