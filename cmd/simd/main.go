@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/surrogate"
 )
 
 func main() {
@@ -44,8 +45,25 @@ func main() {
 		journalDir  = flag.String("journal", "", "journal directory for crash-safe jobs (empty = in-memory only)")
 		ckptEvery   = flag.Int("checkpoint-every", 2000, "completions between journal checkpoints in long runs")
 		compactEach = flag.Duration("compact-every", time.Minute, "journal compaction period")
+
+		surrogatePath = flag.String("surrogate-model", "", "preload a trained surrogate artifact (from surrogen train) to serve queries from boot")
 	)
 	flag.Parse()
+
+	var model *surrogate.Model
+	if *surrogatePath != "" {
+		blob, err := os.ReadFile(*surrogatePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+			os.Exit(1)
+		}
+		m, err := surrogate.Decode(blob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: surrogate model %s: %v\n", *surrogatePath, err)
+			os.Exit(1)
+		}
+		model = m
+	}
 
 	cfg := server.Config{
 		Addr:               *addr,
@@ -59,6 +77,7 @@ func main() {
 		JournalDir:         *journalDir,
 		CheckpointEvery:    *ckptEvery,
 		CompactEvery:       *compactEach,
+		SurrogateModel:     model,
 	}
 	if err := run(cfg, *addrFile, *drainTimeout, *metricsOut, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)

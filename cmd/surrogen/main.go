@@ -1,0 +1,361 @@
+// Command surrogen trains, inspects and queries surrogate models — the
+// interpolating fast path for roadmap queries.
+//
+//	surrogen train -out model.surm [-years ...] [-rpms ...] [-max-cv 0.05]
+//	surrogen inspect model.surm
+//	surrogen query -model model.surm -year 2006 -rpm 15000 -workload TPC-C
+//	surrogen query -model model.surm -batch < queries.ndjson
+//
+// train writes the versioned artifact to -out and streams the
+// cross-validation report as NDJSON on stdout (one "fold" line per fold,
+// one closing "summary" line with the artifact checksum). The artifact
+// and the report are byte-identical at every -workers value, so CI can
+// pin both as goldens. With -max-cv the command exits non-zero when the
+// cross-validated max relative error exceeds the bound — the training
+// quality gate.
+//
+// query answers from the model's interpolation hull; out-of-hull queries
+// fail unless -exact-fallback routes them through the exact engine
+// (answers then carry "source":"exact").
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geometry"
+	"repro/internal/surrogate"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "surrogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: surrogen <train|inspect|query> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:], stdout)
+	case "inspect":
+		return runInspect(args[1:], stdout)
+	case "query":
+		return runQuery(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown mode %q (want train, inspect or query)", args[0])
+	}
+}
+
+// foldLine and trainSummary mirror the simd surrogate-train job stream, so
+// goldens pinned from one pin both.
+type foldLine struct {
+	Kind string `json:"kind"`
+	surrogate.FoldReport
+}
+
+type trainSummary struct {
+	Kind          string                   `json:"kind"`
+	Cells         int                      `json:"cells"`
+	ArtifactBytes int                      `json:"artifact_bytes"`
+	Checksum      string                   `json:"checksum"`
+	MaxRelErr     float64                  `json:"max_rel_err"`
+	Channels      []surrogate.ChannelError `json:"channels"`
+}
+
+func runTrain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "artifact output path (required)")
+		years     = fs.String("years", "", "comma-separated roadmap years (default 2002..2012)")
+		rpms      = fs.String("rpms", "", "comma-separated RPM nodes (default 7200,10000,12000,15000,18000,21000)")
+		platters  = fs.String("platters", "1", "comma-separated platter counts")
+		ffs       = fs.String("form-factors", geometry.FormFactor35.String(), "comma-separated form factors")
+		workloads = fs.String("workloads", "", "comma-separated workload names (default all)")
+		requests  = fs.Int("requests", 0, "requests per latency replay (0 = 2000)")
+		refine    = fs.Bool("refine", false, "quadratic refinement along the RPM axis")
+		folds     = fs.Int("folds", 0, "cross-validation folds (0 = 5)")
+		probes    = fs.Int("probes", 0, "held-out probes per fold (0 = 8)")
+		seed      = fs.Int64("seed", 0, "cross-validation probe seed (0 = 1)")
+		workers   = fs.Int("workers", 0, "sampling fan-out (0 = all cores)")
+		maxCV     = fs.Float64("max-cv", 0, "fail when CV max relative error exceeds this bound (0 = no gate)")
+		verbose   = fs.Bool("v", false, "stream each sampled cell to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return errors.New("train: -out is required")
+	}
+
+	cfg := surrogate.TrainConfig{
+		Requests: *requests,
+		Refine:   *refine,
+		Folds:    *folds,
+		Probes:   *probes,
+		Seed:     *seed,
+		Workers:  *workers,
+	}
+	var err error
+	if cfg.Years, err = parseInts(*years, defaultYears()); err != nil {
+		return fmt.Errorf("train: -years: %w", err)
+	}
+	if cfg.RPMs, err = parseFloats(*rpms, []float64{7200, 10000, 12000, 15000, 18000, 21000}); err != nil {
+		return fmt.Errorf("train: -rpms: %w", err)
+	}
+	if cfg.Hardware, err = parseHardware(*platters, *ffs); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	cfg.Workloads = splitList(*workloads)
+	if len(cfg.Workloads) == 0 {
+		for _, w := range trace.Workloads {
+			cfg.Workloads = append(cfg.Workloads, w.Name)
+		}
+	}
+
+	progress := func(surrogate.Cell) error { return nil }
+	if *verbose {
+		enc := json.NewEncoder(os.Stderr)
+		progress = func(c surrogate.Cell) error { return enc.Encode(c) }
+	}
+	m, err := surrogate.Train(context.Background(), cfg, progress)
+	if err != nil {
+		return err
+	}
+	blob, err := surrogate.Encode(m)
+	if err != nil {
+		return err
+	}
+	sum, err := surrogate.Sum(blob)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(stdout)
+	for _, f := range m.CV.Folds {
+		if err := enc.Encode(foldLine{Kind: "fold", FoldReport: f}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(trainSummary{
+		Kind:          "summary",
+		Cells:         m.Cells(),
+		ArtifactBytes: len(blob),
+		Checksum:      sum,
+		MaxRelErr:     m.CV.MaxRel(),
+		Channels:      m.CV.Overall,
+	}); err != nil {
+		return err
+	}
+	if *maxCV > 0 && m.CV.MaxRel() > *maxCV {
+		return fmt.Errorf("train: CV max relative error %.4f exceeds -max-cv %.4f", m.CV.MaxRel(), *maxCV)
+	}
+	return nil
+}
+
+func runInspect(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("inspect: want exactly one artifact path")
+	}
+	m, blob, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sum, err := surrogate.Sum(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "artifact:  %d bytes, version %d, checksum %s\n", len(blob), surrogate.Version, sum)
+	fmt.Fprintf(stdout, "grid:      %d cells — years %d..%d (%d), RPM %.0f..%.0f (%d), %d hardware, %d workloads\n",
+		m.Cells(), m.Years[0], m.Years[len(m.Years)-1], len(m.Years),
+		m.RPMs[0], m.RPMs[len(m.RPMs)-1], len(m.RPMs), len(m.Hardware), len(m.Workloads))
+	fmt.Fprintf(stdout, "sampling:  %d requests/replay, %d zones, refine=%v\n", m.Requests, m.Zones, m.Refine)
+	fmt.Fprintf(stdout, "cv:        seed %d, %d folds, %d probes\n", m.CV.Seed, len(m.CV.Folds), m.CV.Probes)
+	fmt.Fprintf(stdout, "%-10s %12s %12s\n", "channel", "max rel err", "mean rel err")
+	for _, c := range m.CV.Overall {
+		fmt.Fprintf(stdout, "%-10s %12.5f %12.5f\n", c.Channel, c.MaxRel, c.MeanRel)
+	}
+	return nil
+}
+
+// answerLine matches the simd surrogate-query job's answer lines.
+type answerLine struct {
+	Kind  string `json:"kind"`
+	Index int    `json:"index"`
+	surrogate.Query
+	surrogate.Answer
+	Source string `json:"source"`
+}
+
+func runQuery(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "trained artifact path (required)")
+		batch     = fs.Bool("batch", false, "read NDJSON queries from stdin")
+		fallback  = fs.Bool("exact-fallback", false, "answer out-of-hull queries with the exact engine")
+		year      = fs.Int("year", 2006, "roadmap year")
+		rpm       = fs.Float64("rpm", 15000, "spindle speed")
+		plat      = fs.Int("platters", 1, "platter count")
+		ff        = fs.String("form-factor", geometry.FormFactor35.String(), "form factor")
+		workload  = fs.String("workload", "TPC-C", "workload name")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return errors.New("query: -model is required")
+	}
+	m, _, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	var exact *surrogate.Exact
+	if *fallback {
+		if exact, err = surrogate.NewExact(m.ExactConfig()); err != nil {
+			return err
+		}
+	}
+
+	queries := []surrogate.Query{{Year: *year, RPM: *rpm, Platters: *plat, FormFactor: *ff, Workload: *workload}}
+	if *batch {
+		queries = queries[:0]
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if len(strings.TrimSpace(sc.Text())) == 0 {
+				continue
+			}
+			var q surrogate.Query
+			if err := json.Unmarshal(sc.Bytes(), &q); err != nil {
+				return fmt.Errorf("query %d: %w", len(queries), err)
+			}
+			queries = append(queries, q)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	for i, q := range queries {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		ans, err := m.Eval(q)
+		source := "surrogate"
+		if errors.Is(err, surrogate.ErrOutOfHull) && exact != nil {
+			ans, err = exact.Solve(q)
+			source = "exact"
+		}
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		if err := enc.Encode(answerLine{Kind: "answer", Index: i, Query: q, Answer: ans, Source: source}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadModel(path string) (*surrogate.Model, []byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := surrogate.Decode(blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, blob, nil
+}
+
+func defaultYears() []int {
+	ys := make([]int, 0, 11)
+	for y := 2002; y <= 2012; y++ {
+		ys = append(ys, y)
+	}
+	return ys
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string, def []int) ([]int, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return def, nil
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFloats(s string, def []float64) ([]float64, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return def, nil
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseHardware crosses the platter counts with the form factors.
+func parseHardware(platters, ffs string) ([]surrogate.Hardware, error) {
+	ps, err := parseInts(platters, nil)
+	if err != nil {
+		return nil, fmt.Errorf("-platters: %w", err)
+	}
+	fs := splitList(ffs)
+	if len(ps) == 0 || len(fs) == 0 {
+		return nil, errors.New("-platters and -form-factors must be non-empty")
+	}
+	var hw []surrogate.Hardware
+	for _, f := range fs {
+		if _, err := surrogate.ParseFormFactor(f); err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			hw = append(hw, surrogate.Hardware{Platters: p, FormFactor: f})
+		}
+	}
+	return hw, nil
+}

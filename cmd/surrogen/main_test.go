@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trainArgs(out string, workers string) []string {
+	return []string{
+		"train", "-out", out, "-workers", workers,
+		"-years", "2002,2006", "-rpms", "10000,15000,20000",
+		"-workloads", "TPC-C", "-requests", "200", "-folds", "2", "-probes", "2",
+	}
+}
+
+// TestTrainWorkerInvariance: the artifact on disk and the CV report on
+// stdout are byte-identical at any -workers value.
+func TestTrainWorkerInvariance(t *testing.T) {
+	dir := t.TempDir()
+	p1, p8 := filepath.Join(dir, "w1.surm"), filepath.Join(dir, "w8.surm")
+
+	var out1, out8 bytes.Buffer
+	if err := run(trainArgs(p1, "1"), strings.NewReader(""), &out1); err != nil {
+		t.Fatalf("train -workers 1: %v", err)
+	}
+	if err := run(trainArgs(p8, "8"), strings.NewReader(""), &out8); err != nil {
+		t.Fatalf("train -workers 8: %v", err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Error("artifacts differ across worker counts")
+	}
+	if !bytes.Equal(out1.Bytes(), out8.Bytes()) {
+		t.Errorf("CV reports differ across worker counts:\n%s\nvs\n%s", out1.String(), out8.String())
+	}
+}
+
+// TestTrainMaxCVGate: an unreachable bound fails the command after the
+// report is written — the CI quality gate.
+func TestTrainMaxCVGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.surm")
+	var buf bytes.Buffer
+	args := append(trainArgs(out, "4"), "-max-cv", "1e-9")
+	err := run(args, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds -max-cv") {
+		t.Fatalf("err = %v, want max-cv gate failure", err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"summary"`) {
+		t.Error("gate failure should still print the report")
+	}
+	if _, statErr := os.Stat(out); statErr != nil {
+		t.Error("gate failure should still write the artifact")
+	}
+}
+
+// TestQueryBatchAndFallback: batch NDJSON in, answer lines out; the
+// out-of-hull query needs -exact-fallback.
+func TestQueryBatchAndFallback(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.surm")
+	var buf bytes.Buffer
+	if err := run(trainArgs(out, "4"), strings.NewReader(""), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := `{"year":2004,"rpm":12000,"platters":1,"form_factor":"3.5-inch","workload":"TPC-C"}
+{"year":2030,"rpm":12000,"platters":1,"form_factor":"3.5-inch","workload":"TPC-C"}
+`
+	var ans bytes.Buffer
+	err := run([]string{"query", "-model", out, "-batch"}, strings.NewReader(queries), &ans)
+	if err == nil {
+		t.Fatal("out-of-hull batch without -exact-fallback should fail")
+	}
+
+	ans.Reset()
+	if err := run([]string{"query", "-model", out, "-batch", "-exact-fallback"},
+		strings.NewReader(queries), &ans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(ans.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d answer lines, want 2:\n%s", len(lines), ans.String())
+	}
+	if !strings.Contains(lines[0], `"source":"surrogate"`) {
+		t.Errorf("in-hull answer not from the surrogate: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"source":"exact"`) {
+		t.Errorf("out-of-hull answer not from the exact engine: %s", lines[1])
+	}
+}
+
+// TestBadInvocations pins argument validation.
+func TestBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"predict"},
+		{"train"},
+		{"train", "-out", "/tmp/x.surm", "-years", "junk"},
+		{"train", "-out", "/tmp/x.surm", "-form-factors", "9-inch"},
+		{"inspect"},
+		{"inspect", "/nonexistent.surm"},
+		{"query"},
+	} {
+		if err := run(args, strings.NewReader(""), &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

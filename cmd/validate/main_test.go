@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drive"
+)
+
+// TestRunPassesOnCurrentModel: the shipped physics reproduces the paper's
+// Table 1 model columns, so validate succeeds and says so.
+func TestRunPassesOnCurrentModel(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "PASS: all 13 Table 1 rows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("passing run printed FAIL:\n%s", out)
+	}
+}
+
+// TestCompareRowFlagsDrift: injected out-of-tolerance values produce
+// per-field diffs naming the drive, the field, both values and the
+// relative error — the non-zero-exit path's evidence.
+func TestCompareRowFlagsDrift(t *testing.T) {
+	v := drive.Table1[0]
+
+	if diffs := compareRow(v, v.PaperModelCapGB, float64(v.PaperModelIDR)); len(diffs) != 0 {
+		t.Fatalf("exact values flagged: %v", diffs)
+	}
+
+	capOff := v.PaperModelCapGB * 1.10
+	idrOff := float64(v.PaperModelIDR) * 0.80
+	diffs := compareRow(v, capOff, idrOff)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2: %v", len(diffs), diffs)
+	}
+	capDiff, idrDiff := diffs[0], diffs[1]
+	if capDiff.Field != "Cap(GB)" || idrDiff.Field != "IDR(MB/s)" {
+		t.Fatalf("unexpected fields: %v", diffs)
+	}
+	for _, d := range diffs {
+		if d.Drive != v.Name {
+			t.Errorf("diff names %q, want %q", d.Drive, v.Name)
+		}
+		msg := d.String()
+		if !strings.Contains(msg, v.Name) || !strings.Contains(msg, "% off") {
+			t.Errorf("diff message not self-describing: %q", msg)
+		}
+	}
+	if capDiff.RelErr < 0.09 || capDiff.RelErr > 0.11 {
+		t.Errorf("cap RelErr = %v, want ~0.10", capDiff.RelErr)
+	}
+}
+
+// TestCompareRowHonoursIDRExclusion: the paper's own inconsistent 36Z15
+// IDR value never fails the gate, but its capacity still does.
+func TestCompareRowHonoursIDRExclusion(t *testing.T) {
+	var excluded drive.ValidationDrive
+	for _, v := range drive.Table1 {
+		if v.Name == idrExcluded {
+			excluded = v
+		}
+	}
+	if excluded.Name == "" {
+		t.Fatalf("%s not in Table1", idrExcluded)
+	}
+	if diffs := compareRow(excluded, excluded.PaperModelCapGB, 1); len(diffs) != 0 {
+		t.Errorf("excluded drive's IDR flagged: %v", diffs)
+	}
+	diffs := compareRow(excluded, excluded.PaperModelCapGB*2, 1)
+	if len(diffs) != 1 || diffs[0].Field != "Cap(GB)" {
+		t.Errorf("excluded drive's capacity not gated: %v", diffs)
+	}
+}

@@ -1,0 +1,179 @@
+// End-to-end surrogate serving: a real simd server over HTTP. Pins the
+// PR's acceptance contract for the fast path — transparent fallbacks are
+// provably the exact engine (byte-identical to forced-exact answers,
+// before and after a model is installed), and the fallback counters are
+// observable on /metrics.
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+const surrogateTrainBody = `{"type":"surrogate","surrogate":{"mode":"train","train":{
+	"years":[2002,2006],"rpms":[10000,15000,20000],
+	"workloads":["TPC-C"],"requests":200,"folds":2,"probes":2}}}`
+
+// Three probes: two inside the trained hull, one outside it (year 2030).
+const surrogateQueries = `{"year":2003,"rpm":12500,"platters":1,"form_factor":"3.5-inch","workload":"TPC-C"},
+{"year":2006,"rpm":15000,"platters":1,"form_factor":"3.5-inch","workload":"TPC-C"},
+{"year":2030,"rpm":12500,"platters":1,"form_factor":"3.5-inch","workload":"TPC-C"}`
+
+func surrogateQueryBody(exact bool) string {
+	flag := ""
+	if exact {
+		flag = `"exact":true,`
+	}
+	return `{"type":"surrogate","surrogate":{"mode":"query",` + flag + `"queries":[` + surrogateQueries + `]}}`
+}
+
+// scrapeCounter pulls one counter value (optionally labelled) off /metrics.
+func scrapeCounter(t *testing.T, base, name, labels string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name+labels) + ` (\d+)$`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("series %s%s not found on /metrics:\n%s", name, labels, raw)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSurrogateFallbackIsExactEndToEnd: every transparent fallback answer
+// is byte-identical to the forced-exact answer for the same query — with
+// no model installed (all three queries fall back) and with a trained
+// model (only the out-of-hull query falls back, and its line matches the
+// forced-exact line exactly). The fallback counters are scraped off
+// /metrics at each stage.
+func TestSurrogateFallbackIsExactEndToEnd(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		JobTimeout: time.Minute,
+		Registry:   obs.NewRegistry(),
+	})
+	base := "http://" + s.Addr()
+
+	post := func(body string) [][]byte {
+		status, _, lines := postNDJSON(t, base, body)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, bytes.Join(lines, []byte("\n")))
+		}
+		return lines
+	}
+
+	// Stage 1: no model. The transparent path and the forced-exact path
+	// must produce byte-identical bodies.
+	viaFallback := post(surrogateQueryBody(false))
+	viaExact := post(surrogateQueryBody(true))
+	if !bytes.Equal(bytes.Join(viaFallback, nil), bytes.Join(viaExact, nil)) {
+		t.Fatalf("no-model fallback differs from forced exact:\n%s\nvs\n%s",
+			bytes.Join(viaFallback, []byte("\n")), bytes.Join(viaExact, []byte("\n")))
+	}
+	if got := scrapeCounter(t, base, "surrogate_fallbacks_by_reason_total", `{reason="no_model"}`); got != 3 {
+		t.Errorf("no_model fallbacks = %d, want 3", got)
+	}
+
+	// Stage 2: train. The model installs and serves in-hull queries.
+	trainLines := post(surrogateTrainBody)
+	if !bytes.Contains(trainLines[len(trainLines)-1], []byte(`"kind":"summary"`)) {
+		t.Fatalf("training did not close with a summary: %s", trainLines[len(trainLines)-1])
+	}
+	if got := scrapeCounter(t, base, "surrogate_trainings_total", ""); got != 1 {
+		t.Errorf("trainings = %d, want 1", got)
+	}
+
+	// Stage 3: model installed. In-hull queries take the fast path; the
+	// out-of-hull one still falls back — and its answer line must be
+	// byte-identical to the forced-exact line for the same query.
+	mixed := post(surrogateQueryBody(false))
+	forced := post(surrogateQueryBody(true))
+	if len(mixed) != 4 || len(forced) != 4 {
+		t.Fatalf("got %d and %d lines, want 4 each", len(mixed), len(forced))
+	}
+	for i := 0; i < 2; i++ {
+		if !bytes.Contains(mixed[i], []byte(`"source":"surrogate"`)) {
+			t.Errorf("in-hull query %d not served by the surrogate: %s", i, mixed[i])
+		}
+	}
+	if !bytes.Contains(mixed[2], []byte(`"source":"exact"`)) {
+		t.Fatalf("out-of-hull query not falling back: %s", mixed[2])
+	}
+	if !bytes.Equal(mixed[2], forced[2]) {
+		t.Errorf("out-of-hull fallback differs from forced exact:\n%s\nvs\n%s", mixed[2], forced[2])
+	}
+
+	if got := scrapeCounter(t, base, "surrogate_hits_total", ""); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := scrapeCounter(t, base, "surrogate_fallbacks_by_reason_total", `{reason="out_of_hull"}`); got != 1 {
+		t.Errorf("out_of_hull fallbacks = %d, want 1", got)
+	}
+	// 3 no-model + 3 forced (stage 1) + 1 out-of-hull + 3 forced (stage 3).
+	if got := scrapeCounter(t, base, "surrogate_fallbacks_total", ""); got != 10 {
+		t.Errorf("total fallbacks = %d, want 10", got)
+	}
+	if got := scrapeCounter(t, base, "surrogate_queries_total", ""); got != 12 {
+		t.Errorf("total queries = %d, want 12", got)
+	}
+}
+
+// TestSurrogateServingByteIdentity: the same query batch answered twice by
+// the same trained model returns byte-identical NDJSON — and a retrained
+// identical model leaves answers unchanged (the artifact is a pure
+// function of the spec, so serving is too).
+func TestSurrogateServingByteIdentity(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		JobTimeout: time.Minute,
+	})
+	base := "http://" + s.Addr()
+
+	post := func(body string) []byte {
+		status, _, lines := postNDJSON(t, base, body)
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		return bytes.Join(lines, []byte("\n"))
+	}
+
+	first := post(surrogateTrainBody)
+	a := post(surrogateQueryBody(false))
+	second := post(surrogateTrainBody)
+	b := post(surrogateQueryBody(false))
+	if !bytes.Equal(first, second) {
+		t.Errorf("retraining the same spec produced a different stream:\n%s\nvs\n%s", first, second)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same model, same queries, different answers:\n%s\nvs\n%s", a, b)
+	}
+	var sum struct {
+		Checksum string `json:"checksum"`
+	}
+	last := first[bytes.LastIndexByte(first, '\n')+1:]
+	if err := json.Unmarshal(last, &sum); err != nil || len(sum.Checksum) != 8 {
+		t.Errorf("train summary checksum %q (err %v), want 8 hex digits", sum.Checksum, err)
+	}
+}

@@ -1,0 +1,186 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/units"
+)
+
+// These tests pin the roadmap at the extreme grid points the surrogate
+// trainer uses as interpolation corners: the earliest and latest roadmap
+// years, the smallest and largest platter sizes, every enclosure form
+// factor and the platter-count extremes. Interpolation is only as sound
+// as its corners — a NaN, an infinity or a broken monotonicity at a
+// corner silently poisons every query inside the hull.
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// checkPoint requires every numeric field of a roadmap point to be finite
+// and physically sensible.
+func checkPoint(t *testing.T, p Point) {
+	t.Helper()
+	fields := map[string]float64{
+		"BPI":          float64(p.BPI),
+		"TPI":          float64(p.TPI),
+		"TargetIDR":    float64(p.TargetIDR),
+		"IDRDensity":   float64(p.IDRDensity),
+		"RequiredRPM":  float64(p.RequiredRPM),
+		"RequiredTemp": float64(p.RequiredTemp),
+		"Capacity":     float64(p.Capacity),
+	}
+	for name, v := range fields {
+		if !finite(v) || v <= 0 {
+			t.Errorf("%d/%v: %s = %v, want finite and positive", p.Year, p.Size, name, v)
+		}
+	}
+	// MaxRPM (and with it MaxIDR) may be exactly zero: a platter crammed
+	// into a hot enclosure can have no spindle speed inside the envelope.
+	// That is the model saying "unbuildable", and it must say it
+	// coherently — both zero together, never NaN, and never on target.
+	if !finite(float64(p.MaxRPM)) || p.MaxRPM < 0 || !finite(float64(p.MaxIDR)) || p.MaxIDR < 0 {
+		t.Errorf("%d/%v: MaxRPM %v / MaxIDR %v, want finite and non-negative", p.Year, p.Size, p.MaxRPM, p.MaxIDR)
+	}
+	if (p.MaxRPM == 0) != (p.MaxIDR == 0) {
+		t.Errorf("%d/%v: MaxRPM %v and MaxIDR %v disagree about buildability", p.Year, p.Size, p.MaxRPM, p.MaxIDR)
+	}
+	if p.MaxRPM == 0 && p.MeetsTarget {
+		t.Errorf("%d/%v: no envelope speed yet MeetsTarget", p.Year, p.Size)
+	}
+	// RequiredTemp is the "thermal consequences be damned" extrapolation
+	// and legitimately reaches four digits by 2012; it only has to stay
+	// finite and above ambient.
+	if p.RequiredTemp < 20 {
+		t.Errorf("%d/%v: RequiredTemp %v below ambient", p.Year, p.Size, p.RequiredTemp)
+	}
+}
+
+// TestRoadmapCornersFiniteAllFormFactors sweeps the full year span at the
+// size extremes for each enclosure and both platter-count extremes that
+// enclosure accepts.
+func TestRoadmapCornersFiniteAllFormFactors(t *testing.T) {
+	cases := []struct {
+		name     string
+		ff       geometry.FormFactor
+		sizes    []units.Inches
+		platters []int
+	}{
+		{"3.5-inch", geometry.FormFactor35, []units.Inches{1.6, 2.6}, []int{1, 4}},
+		{"2.5-inch", geometry.FormFactor25, []units.Inches{1.6, 2.1}, []int{1, 2}},
+		{"3.5-inch-tall", geometry.FormFactor35Tall, []units.Inches{1.6, 2.6}, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		for _, platters := range tc.platters {
+			pts, err := Roadmap(Config{
+				FirstYear:    2002,
+				LastYear:     2012,
+				PlatterSizes: tc.sizes,
+				Platters:     platters,
+				FormFactor:   tc.ff,
+			})
+			if err != nil {
+				t.Fatalf("%s platters=%d: %v", tc.name, platters, err)
+			}
+			if want := len(tc.sizes) * 11; len(pts) != want {
+				t.Fatalf("%s platters=%d: %d points, want %d", tc.name, platters, len(pts), want)
+			}
+			for _, p := range pts {
+				checkPoint(t, p)
+			}
+		}
+	}
+}
+
+// TestRoadmapCornerMonotonicity pins the expected orderings along the year
+// axis for a fixed platter size: the IDR target and the densities grow
+// every year; the required RPM and its temperature grow with them; the
+// envelope speed is a property of the geometry alone and never moves. The
+// IDR-density and capacity columns grow everywhere except across the 2010
+// terabit transition, where the ECC share jumps from 10% to 35% and the
+// paper's model legitimately dips — a corner the surrogate grid must
+// represent, not smooth over.
+func TestRoadmapCornerMonotonicity(t *testing.T) {
+	pts, err := Roadmap(Config{
+		FirstYear:    2002,
+		LastYear:     2012,
+		PlatterSizes: []units.Inches{2.6},
+		Platters:     1,
+		FormFactor:   geometry.FormFactor35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terabit := DefaultTrend().TerabitYear()
+	if terabit != 2010 {
+		t.Fatalf("terabit year = %d, want 2010", terabit)
+	}
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1], pts[i]
+		if cur.TargetIDR <= prev.TargetIDR {
+			t.Errorf("TargetIDR not increasing %d→%d: %v → %v", prev.Year, cur.Year, prev.TargetIDR, cur.TargetIDR)
+		}
+		if cur.BPI <= prev.BPI || cur.TPI <= prev.TPI {
+			t.Errorf("densities not increasing %d→%d", prev.Year, cur.Year)
+		}
+		if cur.RequiredRPM <= prev.RequiredRPM {
+			t.Errorf("RequiredRPM not increasing %d→%d: %v → %v", prev.Year, cur.Year, prev.RequiredRPM, cur.RequiredRPM)
+		}
+		if cur.RequiredTemp <= prev.RequiredTemp {
+			t.Errorf("RequiredTemp not increasing %d→%d: %v → %v", prev.Year, cur.Year, prev.RequiredTemp, cur.RequiredTemp)
+		}
+		if cur.MaxRPM != prev.MaxRPM {
+			t.Errorf("MaxRPM moved %d→%d: %v → %v (envelope is year-independent)", prev.Year, cur.Year, prev.MaxRPM, cur.MaxRPM)
+		}
+		atTerabit := cur.Year == terabit
+		if !atTerabit && cur.IDRDensity <= prev.IDRDensity {
+			t.Errorf("IDRDensity not increasing %d→%d: %v → %v", prev.Year, cur.Year, prev.IDRDensity, cur.IDRDensity)
+		}
+		if !atTerabit && cur.Capacity <= prev.Capacity {
+			t.Errorf("Capacity not increasing %d→%d", prev.Year, cur.Year)
+		}
+	}
+	// The ECC dip itself: 2010 loses IDR density relative to 2009 even
+	// though the raw recording densities grew.
+	var y2009, y2010 Point
+	for _, p := range pts {
+		switch p.Year {
+		case 2009:
+			y2009 = p
+		case 2010:
+			y2010 = p
+		}
+	}
+	if y2010.IDRDensity >= y2009.IDRDensity {
+		t.Errorf("terabit ECC dip missing: IDRDensity 2009 %v, 2010 %v (35%% ECC share should dip it)",
+			y2009.IDRDensity, y2010.IDRDensity)
+	}
+}
+
+// TestRoadmapCornerRPMSizeOrdering: at any year, a smaller platter clears
+// a higher envelope speed (less windage) but needs more RPM to hit the
+// same target — both orderings the surrogate's hardware axis leans on.
+func TestRoadmapCornerRPMSizeOrdering(t *testing.T) {
+	pts, err := Roadmap(Config{
+		FirstYear:    2002,
+		LastYear:     2012,
+		PlatterSizes: []units.Inches{2.6, 1.6},
+		Platters:     1,
+		FormFactor:   geometry.FormFactor35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byYear := ByYearSize(pts)
+	for year, sizes := range byYear {
+		big, small := sizes[2.6], sizes[1.6]
+		if small.MaxRPM <= big.MaxRPM {
+			t.Errorf("%d: 1.6\" envelope RPM %v not above 2.6\" %v", year, small.MaxRPM, big.MaxRPM)
+		}
+		if small.RequiredRPM <= big.RequiredRPM {
+			t.Errorf("%d: 1.6\" required RPM %v not above 2.6\" %v", year, small.RequiredRPM, big.RequiredRPM)
+		}
+	}
+}

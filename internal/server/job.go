@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/geometry"
 	"repro/internal/obs"
+	"repro/internal/surrogate"
 	"repro/internal/tournament"
 	"repro/internal/trace"
 )
@@ -21,6 +23,7 @@ const (
 	TypeFleet   = "fleet"   // internal/fleet datacenter-scale thermal run
 
 	TypeTournament = "tournament" // internal/tournament policy head-to-head
+	TypeSurrogate  = "surrogate"  // internal/surrogate train / fast-path query
 )
 
 // Status is a job's lifecycle state. Transitions only move forward:
@@ -62,6 +65,7 @@ type Spec struct {
 	RAID       *RAIDSpec       `json:"raid,omitempty"`
 	Fleet      *FleetSpec      `json:"fleet,omitempty"`
 	Tournament *TournamentSpec `json:"tournament,omitempty"`
+	Surrogate  *SurrogateSpec  `json:"surrogate,omitempty"`
 }
 
 // RoadmapSpec parameterizes a roadmap job (internal/scaling.Roadmap).
@@ -223,6 +227,152 @@ func (t *TournamentSpec) validate(cfg Config, async bool) error {
 	return nil
 }
 
+// SurrogateSpec parameterizes a surrogate job (internal/surrogate). Mode
+// "train" samples the exact engine over a grid, fits and cross-validates
+// an interpolation model, and installs it as the server's serving model;
+// mode "query" answers a batch of roadmap queries — through the installed
+// model when possible, transparently falling back to the exact engine for
+// out-of-hull queries, for models whose cross-validated error exceeds
+// MaxRelErr, or when no model is installed. Every answer line carries its
+// "source" so clients can see which path served it.
+type SurrogateSpec struct {
+	Mode string `json:"mode"` // "train" or "query"
+
+	// Train configures the sampling grid (mode "train"; nil = defaults:
+	// 2002..2012, six RPM nodes, one platter 3.5", all five workloads).
+	Train *SurrogateTrainSpec `json:"train,omitempty"`
+
+	// Queries are answered in order, one NDJSON "answer" line each
+	// (mode "query").
+	Queries []surrogate.Query `json:"queries,omitempty"`
+
+	// Exact forces every query down the exact path — the verification
+	// switch that makes fallback answers provably byte-identical to
+	// direct exact answers.
+	Exact bool `json:"exact,omitempty"`
+
+	// MaxRelErr is the error bound: a model whose cross-validated max
+	// relative error (any channel) exceeds it is not trusted, and queries
+	// fall back to the exact engine (0 = trust any installed model).
+	MaxRelErr float64 `json:"max_rel_err,omitempty"`
+}
+
+// SurrogateTrainSpec is the wire form of surrogate.TrainConfig. Empty
+// axes take the serving defaults.
+type SurrogateTrainSpec struct {
+	Years     []int                `json:"years,omitempty"`
+	RPMs      []float64            `json:"rpms,omitempty"`
+	Hardware  []surrogate.Hardware `json:"hardware,omitempty"`
+	Workloads []string             `json:"workloads,omitempty"`
+	Requests  int                  `json:"requests,omitempty"` // 0 = 2000
+	Refine    bool                 `json:"refine,omitempty"`
+	Folds     int                  `json:"folds,omitempty"`  // 0 = 5
+	Probes    int                  `json:"probes,omitempty"` // 0 = 8
+	Seed      int64                `json:"seed,omitempty"`   // 0 = 1
+}
+
+// config maps the wire spec onto the training configuration.
+func (t *SurrogateTrainSpec) config(workers int) surrogate.TrainConfig {
+	cfg := surrogate.TrainConfig{
+		Years:     t.Years,
+		RPMs:      t.RPMs,
+		Hardware:  t.Hardware,
+		Workloads: t.Workloads,
+		Requests:  t.Requests,
+		Refine:    t.Refine,
+		Folds:     t.Folds,
+		Probes:    t.Probes,
+		Seed:      t.Seed,
+		Workers:   workers,
+	}
+	if len(cfg.Years) == 0 {
+		for y := 2002; y <= 2012; y++ {
+			cfg.Years = append(cfg.Years, y)
+		}
+	}
+	if len(cfg.RPMs) == 0 {
+		cfg.RPMs = []float64{7200, 10000, 12000, 15000, 18000, 21000}
+	}
+	if len(cfg.Hardware) == 0 {
+		cfg.Hardware = []surrogate.Hardware{{Platters: 1, FormFactor: geometry.FormFactor35.String()}}
+	}
+	if len(cfg.Workloads) == 0 {
+		for _, w := range trace.Workloads {
+			cfg.Workloads = append(cfg.Workloads, w.Name)
+		}
+	}
+	return cfg
+}
+
+func (sp *SurrogateSpec) validate(cfg Config, async bool) error {
+	switch sp.Mode {
+	case "train":
+		if len(sp.Queries) > 0 || sp.Exact || sp.MaxRelErr != 0 {
+			return fmt.Errorf("surrogate train jobs take only a %q block", "train")
+		}
+		t := sp.Train
+		if t == nil {
+			t = &SurrogateTrainSpec{}
+		}
+		tc := t.config(1)
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+		switch {
+		case t.Requests < 0 || t.Requests > cfg.MaxRequests:
+			return fmt.Errorf("requests %d outside [0,%d]", t.Requests, cfg.MaxRequests)
+		case len(tc.Years) > 64 || len(tc.RPMs) > 64:
+			return fmt.Errorf("surrogate grid axes capped at 64 nodes each")
+		case len(tc.Hardware) > 32 || len(tc.Workloads) > 16:
+			return fmt.Errorf("surrogate hardware/workload axes capped at 32/16 entries")
+		}
+		// Work is the total simulated request count: every latency grid
+		// cell plus every cross-validation probe replays a trace.
+		requests := t.Requests
+		if requests == 0 {
+			requests = surrogate.DefaultRequests
+		}
+		folds, probes := tc.Folds, tc.Probes
+		if folds == 0 {
+			folds = surrogate.DefaultFolds
+		}
+		if probes == 0 {
+			probes = surrogate.DefaultProbes
+		}
+		work := int64(tc.LatencyCells()+folds*probes) * int64(requests)
+		if work > cfg.MaxSurrogateWork {
+			return fmt.Errorf("surrogate training of %d cell-requests exceeds the %d cap", work, cfg.MaxSurrogateWork)
+		}
+		if !async && work > cfg.MaxSyncSurrogateWork {
+			return fmt.Errorf("surrogate training of %d cell-requests exceeds the synchronous cap of %d; submit with ?async=1 and poll the result",
+				work, cfg.MaxSyncSurrogateWork)
+		}
+		return nil
+	case "query":
+		if sp.Train != nil {
+			return fmt.Errorf("surrogate query jobs take no %q block", "train")
+		}
+		switch {
+		case len(sp.Queries) == 0:
+			return fmt.Errorf("surrogate query job has no queries")
+		case len(sp.Queries) > cfg.MaxSurrogateQueries:
+			return fmt.Errorf("%d queries exceeds the %d-query cap", len(sp.Queries), cfg.MaxSurrogateQueries)
+		case sp.MaxRelErr < 0 || sp.MaxRelErr > 10:
+			return fmt.Errorf("max_rel_err %g outside [0,10]", sp.MaxRelErr)
+		}
+		for i, q := range sp.Queries {
+			if err := q.Validate(); err != nil {
+				return fmt.Errorf("query %d: %w", i, err)
+			}
+		}
+		return nil
+	case "":
+		return fmt.Errorf("surrogate job missing mode (want %q or %q)", "train", "query")
+	default:
+		return fmt.Errorf("unknown surrogate mode %q", sp.Mode)
+	}
+}
+
 // dtmPolicies is the accepted DTMSpec.Policy set.
 var dtmPolicies = map[string]bool{
 	"envelope": true, "watermark": true, "slack-ramp": true,
@@ -237,7 +387,7 @@ var dtmPolicies = map[string]bool{
 // holds an open connection for the whole run.
 func (s Spec) validate(cfg Config, async bool) error {
 	blocks := 0
-	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil, s.Fleet != nil, s.Tournament != nil} {
+	for _, set := range []bool{s.Roadmap != nil, s.Figure4 != nil, s.DTM != nil, s.RAID != nil, s.Fleet != nil, s.Tournament != nil, s.Surrogate != nil} {
 		if set {
 			blocks++
 		}
@@ -283,6 +433,11 @@ func (s Spec) validate(cfg Config, async bool) error {
 			t = &TournamentSpec{} // all defaults
 		}
 		return t.validate(cfg, async)
+	case TypeSurrogate:
+		if s.Surrogate == nil || blocks != 1 {
+			return fmt.Errorf("type %q needs exactly a %q block", s.Type, s.Type)
+		}
+		return s.Surrogate.validate(cfg, async)
 	case "":
 		return fmt.Errorf("missing job type")
 	default:

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/surrogate"
 )
 
 // maxJobWorkers caps a single job's internal fan-out.
@@ -56,6 +57,21 @@ type Config struct {
 	// (default 100,000); larger brackets must go through ?async=1.
 	MaxTournamentWork     int64
 	MaxSyncTournamentWork int64
+
+	// MaxSurrogateWork caps a surrogate training job's total simulated
+	// requests (grid cells plus cross-validation probes, times per-replay
+	// requests) regardless of submission path (default 10,000,000).
+	// MaxSyncSurrogateWork is the tighter synchronous bound (default
+	// 1,000,000). MaxSurrogateQueries caps one query job's batch size
+	// (default 4096).
+	MaxSurrogateWork     int64
+	MaxSyncSurrogateWork int64
+	MaxSurrogateQueries  int
+
+	// SurrogateModel preloads a trained surrogate model at boot (the
+	// daemon's -surrogate-model flag); nil starts without one, and every
+	// query falls back to the exact engine until a train job installs one.
+	SurrogateModel *surrogate.Model
 
 	// JournalDir enables crash safety: every admission, checkpoint and
 	// completion is fsync-journaled there, and startup replays the log —
@@ -116,6 +132,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSyncTournamentWork <= 0 {
 		c.MaxSyncTournamentWork = 100000
 	}
+	if c.MaxSurrogateWork <= 0 {
+		c.MaxSurrogateWork = 10000000
+	}
+	if c.MaxSyncSurrogateWork <= 0 {
+		c.MaxSyncSurrogateWork = 1000000
+	}
+	if c.MaxSurrogateQueries <= 0 {
+		c.MaxSurrogateQueries = 4096
+	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 2000
 	}
@@ -160,7 +185,16 @@ type Server struct {
 	reg      *obs.Registry
 	met      *metrics
 	fleetMet *fleet.Metrics
+	surMet   *surrogate.Metrics
 	mux      *http.ServeMux
+
+	// surMu guards the installed surrogate serving model and its matching
+	// exact-fallback engine. With no model installed the engine runs at
+	// the package defaults, so fallback answers are well-defined from
+	// boot.
+	surMu    sync.RWMutex
+	surModel *surrogate.Model
+	surExact *surrogate.Exact
 
 	// queueMu guards queue sends against close(queue): enqueue and
 	// beginDrain take it, so a send can never race the close. It also
@@ -221,9 +255,16 @@ func newServer(cfg Config) *Server {
 		reg:      cfg.Registry,
 		met:      newMetrics(cfg.Registry),
 		fleetMet: fleet.NewMetrics(cfg.Registry),
+		surMet:   surrogate.NewMetrics(cfg.Registry),
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 		keys:     make(map[string]string),
+	}
+	if cfg.SurrogateModel != nil {
+		s.installSurrogate(cfg.SurrogateModel)
+	} else {
+		// The zero ExactConfig is always valid, so the error is impossible.
+		s.surExact, _ = surrogate.NewExact(surrogate.ExactConfig{})
 	}
 	if cfg.JournalDir == "" {
 		s.state = lifeReady
@@ -610,6 +651,8 @@ func (s *Server) dispatch(ctx context.Context, j *job) (err error) {
 		return runFleet(ctx, j.spec, env, s.fleetMet)
 	case TypeTournament:
 		return runTournament(ctx, j.spec, env, s.reg)
+	case TypeSurrogate:
+		return runSurrogate(ctx, j.spec, env, s)
 	default:
 		return fmt.Errorf("unknown job type %q", j.spec.Type)
 	}

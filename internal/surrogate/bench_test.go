@@ -1,0 +1,139 @@
+package surrogate
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geometry"
+)
+
+// benchModel trains one small model per process; the grid is tiny and the
+// replays short so setup stays in the low seconds.
+var (
+	benchOnce  sync.Once
+	benchMod   *Model
+	benchExact *Exact
+)
+
+func benchSetup() (*Model, *Exact) {
+	benchOnce.Do(func() {
+		cfg := TrainConfig{
+			Years:     []int{2002, 2006},
+			RPMs:      []float64{10000, 15000, 20000},
+			Hardware:  []Hardware{{Platters: 1, FormFactor: geometry.FormFactor35.String()}},
+			Workloads: []string{"TPC-C"},
+			Requests:  64,
+			Folds:     1,
+			Probes:    1,
+		}
+		m, err := Train(context.Background(), cfg, nil)
+		if err != nil {
+			panic(err)
+		}
+		benchMod = m
+		e, err := NewExact(m.ExactConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchExact = e
+	})
+	return benchMod, benchExact
+}
+
+// BenchmarkSurrogateQuery is the serving hot path: one interpolated
+// in-hull query. Gated at 0 allocs/op via BENCH_surrogate.json.
+func BenchmarkSurrogateQuery(b *testing.B) {
+	m, _ := benchSetup()
+	queries := [4]Query{
+		{Year: 2003, RPM: 11250, Platters: 1, FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"},
+		{Year: 2004, RPM: 13777, Platters: 1, FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"},
+		{Year: 2005, RPM: 17500, Platters: 1, FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"},
+		{Year: 2006, RPM: 19000, Platters: 1, FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"},
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := m.Eval(queries[i&3])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += a.TempC
+	}
+	_ = sink
+}
+
+// BenchmarkExactPointSolve is the full-simulation path the surrogate
+// replaces: thermal solve + layout + deterministic trace replay at the
+// default 2000-request length. Divided by BenchmarkSurrogateQuery it is
+// the speedup the BENCH_surrogate.json baseline records.
+func BenchmarkExactPointSolve(b *testing.B) {
+	e, err := NewExact(ExactConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Year: 2004, RPM: 13777, Platters: 1,
+		FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"}
+	if _, err := e.Solve(q); err != nil { // warm the memoized trace
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestQuerySpeedupFloor pins the acceptance criterion directly: an
+// in-hull surrogate query must be at least 1000x faster than the exact
+// point solve it replaces. The measured ratio is >30000x, so the floor
+// holds with more than an order of magnitude of headroom on noisy hosts.
+func TestQuerySpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall time")
+	}
+	m, _ := benchSetup()
+	q := Query{Year: 2004, RPM: 13777, Platters: 1,
+		FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"}
+
+	fast := testing.Benchmark(func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			a, err := m.Eval(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += a.TempC
+		}
+		_ = sink
+	})
+
+	e, err := NewExact(ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Solve(q); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const exactRuns = 3
+	for i := 0; i < exactRuns; i++ {
+		if _, err := e.Solve(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exactNs := float64(time.Since(start).Nanoseconds()) / exactRuns
+
+	queryNs := float64(fast.NsPerOp())
+	if queryNs <= 0 {
+		queryNs = 1
+	}
+	speedup := exactNs / queryNs
+	t.Logf("query %.0f ns, exact %.0f ns, speedup %.0fx", queryNs, exactNs, speedup)
+	if speedup < 1000 {
+		t.Errorf("speedup %.0fx is below the 1000x floor", speedup)
+	}
+}

@@ -1,0 +1,122 @@
+package surrogate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Artifact framing: a fixed header, a JSON payload, and a trailing CRC.
+//
+//	offset 0  magic   "SURM" (4 bytes)
+//	offset 4  version uint32 LE
+//	offset 8  length  uint64 LE (payload bytes)
+//	offset 16 payload (JSON-encoded Model)
+//	end-4     crc32   IEEE over the payload, uint32 LE
+//
+// json.Marshal of a Go struct emits fields in declaration order and
+// round-trips float64 values through their shortest exact representation,
+// so Encode is byte-deterministic for a given model.
+
+// Version is the current artifact format version.
+const Version = 1
+
+// magic identifies a surrogate model artifact.
+var magic = [4]byte{'S', 'U', 'R', 'M'}
+
+const headerLen = 16
+
+// Typed decode failures, mirroring the journal's corrupt-refuse contract:
+// a damaged artifact is refused with a precise reason, never served.
+var (
+	// ErrTruncated reports an artifact shorter than its framing declares.
+	ErrTruncated = errors.New("surrogate: artifact truncated")
+
+	// ErrMagic reports a byte stream that is not a surrogate artifact.
+	ErrMagic = errors.New("surrogate: bad magic")
+
+	// ErrVersion reports an artifact written by an unknown format version.
+	ErrVersion = errors.New("surrogate: unsupported artifact version")
+
+	// ErrChecksum reports payload corruption.
+	ErrChecksum = errors.New("surrogate: checksum mismatch")
+
+	// ErrInvalid reports structurally or numerically invalid model data
+	// (bad JSON, wrong table dimensions, non-finite values, trailing
+	// bytes).
+	ErrInvalid = errors.New("surrogate: invalid model")
+)
+
+// Encode serializes a validated model to the versioned, checksummed
+// artifact format. The bytes are deterministic: encoding the same model
+// twice yields identical output.
+func Encode(m *Model) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	out := make([]byte, headerLen+len(payload)+4)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint32(out[4:], Version)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	copy(out[headerLen:], payload)
+	binary.LittleEndian.PutUint32(out[headerLen+len(payload):], crc32.ChecksumIEEE(payload))
+	return out, nil
+}
+
+// Decode parses and validates an artifact. Every failure maps to one of
+// the typed errors above; Decode never panics and never returns a model
+// that fails Validate.
+func Decode(data []byte) (*Model, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d header bytes (need %d)", ErrTruncated, len(data), headerLen)
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, ErrMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: payload declares %d bytes, %d available", ErrTruncated, n, len(data)-headerLen)
+	}
+	total := headerLen + int(n) + 4
+	if len(data) < total {
+		return nil, fmt.Errorf("%w: %d bytes (need %d)", ErrTruncated, len(data), total)
+	}
+	if len(data) > total {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrInvalid, len(data)-total)
+	}
+	payload := data[headerLen : headerLen+int(n)]
+	want := binary.LittleEndian.Uint32(data[headerLen+int(n):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, artifact declares %08x", ErrChecksum, got, want)
+	}
+	var m Model
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Sum returns the artifact's stored payload checksum as 8 hex digits,
+// verifying the framing on the way. It is the fingerprint train reports
+// and inspect prints.
+func Sum(data []byte) (string, error) {
+	if len(data) < headerLen+4 {
+		return "", fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return "", ErrMagic
+	}
+	return fmt.Sprintf("%08x", binary.LittleEndian.Uint32(data[len(data)-4:])), nil
+}

@@ -1,0 +1,239 @@
+package surrogate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/capacity"
+	"repro/internal/geometry"
+	"repro/internal/perf"
+	"repro/internal/raid"
+	"repro/internal/scaling"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Defaults for the exact engine. The 2.6" platter is the roadmap's
+// reference diameter; 2000 requests keep a latency replay in the tens of
+// milliseconds while the mean/p95 stay representative.
+const (
+	DefaultRequests = 2000
+	DefaultDiameter = 2.6
+)
+
+// ExactConfig parameterizes the exact engine. The zero value means
+// defaults; a Model records the resolved values so a serving-side fallback
+// engine can be built to match its trainer exactly.
+type ExactConfig struct {
+	// Requests is the per-replay trace length (0 = DefaultRequests).
+	Requests int
+
+	// Zones is the ZBR zone count (0 = scaling.RoadmapZones).
+	Zones int
+
+	// Diameter is the platter diameter in inches (0 = DefaultDiameter).
+	Diameter float64
+}
+
+func (c ExactConfig) withDefaults() ExactConfig {
+	if c.Requests == 0 {
+		c.Requests = DefaultRequests
+	}
+	if c.Zones == 0 {
+		c.Zones = scaling.RoadmapZones
+	}
+	if c.Diameter == 0 {
+		c.Diameter = DefaultDiameter
+	}
+	return c
+}
+
+func (c ExactConfig) validate() error {
+	switch {
+	case c.Requests < 16 || c.Requests > 200000:
+		return fmt.Errorf("surrogate: requests %d outside [16, 200000]", c.Requests)
+	case c.Zones < 1 || c.Zones > 200:
+		return fmt.Errorf("surrogate: zones %d outside [1, 200]", c.Zones)
+	case c.Diameter < 1 || c.Diameter > 4:
+		return fmt.Errorf("surrogate: diameter %v outside [1, 4]", c.Diameter)
+	}
+	return nil
+}
+
+// Exact answers roadmap queries with the full simulator stack. It memoizes
+// the expensive intermediates — thermal models per hardware combination,
+// recording layouts per year, generated traces per (workload, year) — so a
+// training sweep does not rebuild them per grid cell. Memoization cannot
+// change a result (every intermediate is a pure function of its key), so
+// concurrent Solve calls stay bit-deterministic.
+type Exact struct {
+	cfg ExactConfig
+
+	mu       sync.Mutex
+	thermals map[hwKey]*thermal.Model
+	layouts  map[int]*capacity.Layout
+	traces   map[traceKey]*traceData
+}
+
+type hwKey struct {
+	platters int
+	ff       geometry.FormFactor
+}
+
+type traceKey struct {
+	workload string
+	year     int
+}
+
+type traceData struct {
+	params trace.Params
+	reqs   []raid.Request
+}
+
+// NewExact builds an exact engine. The zero config uses defaults.
+func NewExact(cfg ExactConfig) (*Exact, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Exact{
+		cfg:      cfg,
+		thermals: make(map[hwKey]*thermal.Model),
+		layouts:  make(map[int]*capacity.Layout),
+		traces:   make(map[traceKey]*traceData),
+	}, nil
+}
+
+// Config returns the resolved configuration.
+func (e *Exact) Config() ExactConfig { return e.cfg }
+
+// Solve evaluates one query exactly: a worst-case steady-state thermal
+// solve for the temperature channel, the year's recording layout spun at
+// the query RPM for IDR, and a deterministic trace replay through the
+// disk/RAID simulator for the latency channels.
+func (e *Exact) Solve(q Query) (Answer, error) {
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	ff, err := ParseFormFactor(q.FormFactor)
+	if err != nil {
+		return Answer{}, err
+	}
+
+	tm, err := e.thermalModel(q.Platters, ff)
+	if err != nil {
+		return Answer{}, err
+	}
+	st := tm.SteadyState(thermal.WorstCase(units.RPM(q.RPM)))
+
+	layout, err := e.layoutFor(q.Year)
+	if err != nil {
+		return Answer{}, err
+	}
+
+	td, err := e.traceFor(q.Workload, q.Year)
+	if err != nil {
+		return Answer{}, err
+	}
+	vol, err := td.params.BuildVolume(units.RPM(q.RPM))
+	if err != nil {
+		return Answer{}, err
+	}
+	comps, err := vol.Simulate(td.reqs)
+	if err != nil {
+		return Answer{}, fmt.Errorf("surrogate: %s at %v rpm: %w", q.Workload, q.RPM, err)
+	}
+	var s stats.Sample
+	for _, c := range comps {
+		s.Add(c.Response())
+	}
+
+	return Answer{
+		TempC:      float64(st.Air),
+		IDRMBps:    float64(perf.IDR(layout, units.RPM(q.RPM))),
+		MeanMillis: s.Mean(),
+		P95Millis:  s.Percentile(95),
+	}, nil
+}
+
+// thermalModel memoizes the 4-node network per hardware combination at the
+// reference platter diameter.
+func (e *Exact) thermalModel(platters int, ff geometry.FormFactor) (*thermal.Model, error) {
+	k := hwKey{platters, ff}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.thermals[k]; ok {
+		return m, nil
+	}
+	m, err := thermal.New(geometry.Drive{
+		PlatterDiameter: units.Inches(e.cfg.Diameter),
+		Platters:        platters,
+		FormFactor:      ff,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: %w", err)
+	}
+	e.thermals[k] = m
+	return m, nil
+}
+
+// layoutFor memoizes the reference single-platter recording layout per
+// year. IDR is a per-surface outer-track data rate, so the platter count
+// of the query does not enter.
+func (e *Exact) layoutFor(year int) (*capacity.Layout, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l, ok := e.layouts[year]; ok {
+		return l, nil
+	}
+	bpi, tpi := scaling.DefaultTrend().Densities(year)
+	l, err := capacity.New(capacity.Config{
+		Geometry: geometry.Drive{
+			PlatterDiameter: units.Inches(e.cfg.Diameter),
+			Platters:        1,
+			FormFactor:      geometry.FormFactor35,
+		},
+		BPI:   bpi,
+		TPI:   tpi,
+		Zones: e.cfg.Zones,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: year %d: %w", year, err)
+	}
+	e.layouts[year] = l
+	return l, nil
+}
+
+// traceFor memoizes the generated request sequence per (workload, year).
+// The trace depends on the member-disk capacity (a function of the year's
+// densities) but not on the replay RPM, so every RPM cell of a row replays
+// the identical sequence — exactly how the paper replays each trace
+// against faster drives.
+func (e *Exact) traceFor(workload string, year int) (*traceData, error) {
+	k := traceKey{workload, year}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if td, ok := e.traces[k]; ok {
+		return td, nil
+	}
+	p, err := trace.WorkloadByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	p.Year = year
+	p = p.WithRequests(e.cfg.Requests)
+	// Capacity does not depend on spindle speed; probe it at the baseline.
+	vol, err := p.BuildVolume(p.BaselineRPM)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := p.Generate(vol.Capacity())
+	if err != nil {
+		return nil, err
+	}
+	td := &traceData{params: p, reqs: reqs}
+	e.traces[k] = td
+	return td, nil
+}

@@ -1,0 +1,49 @@
+package surrogate
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzModelDecode drives the artifact decoder with arbitrary bytes:
+// truncated, corrupted, or version-skewed artifacts must come back as one
+// of the typed errors — never a panic, and never a model that fails
+// validation (the journal's corrupt-refuse contract, applied to models).
+func FuzzModelDecode(f *testing.F) {
+	good, err := Encode(handModel())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("SURM"))
+	f.Add(good[:len(good)-3])
+	skew := append([]byte{}, good...)
+	skew[4] = 99
+	f.Add(skew)
+	flip := append([]byte{}, good...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("model returned alongside error")
+			}
+			for _, typed := range []error{ErrTruncated, ErrMagic, ErrVersion, ErrChecksum, ErrInvalid} {
+				if errors.Is(err, typed) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// A successful decode must yield a fully valid, re-encodable model.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded model fails validation: %v", err)
+		}
+		if _, err := Encode(m); err != nil {
+			t.Fatalf("decoded model fails re-encode: %v", err)
+		}
+	})
+}

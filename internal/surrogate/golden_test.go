@@ -1,0 +1,80 @@
+package surrogate
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+)
+
+const goldenModelPath = "../../testdata/golden/surrogate_model.surm"
+
+// goldenConfig mirrors the surrogen invocation recorded in
+// testdata/golden/README.md — retraining it must reproduce the committed
+// artifact byte-for-byte.
+func goldenConfig() TrainConfig {
+	return TrainConfig{
+		Years:     []int{2002, 2004, 2006, 2008},
+		RPMs:      []float64{9000, 12000, 15000, 18000, 21000},
+		Hardware:  []Hardware{{Platters: 1, FormFactor: "3.5-inch"}},
+		Workloads: []string{"TPC-C", "Search-Engine"},
+		Requests:  400,
+		Folds:     3,
+		Probes:    4,
+	}
+}
+
+// TestGoldenModelByteIdentity retrains the committed golden's exact spec
+// and requires bit-identical artifact bytes — the strongest statement of
+// the training determinism contract, pinned across releases.
+func TestGoldenModelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains the golden grid")
+	}
+	want, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(context.Background(), goldenConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		gotSum, _ := Sum(got)
+		wantSum, _ := Sum(want)
+		t.Fatalf("retrained golden differs: %d bytes checksum %s, committed %d bytes checksum %s\n"+
+			"If the simulator or the trainer legitimately changed, regenerate per testdata/golden/README.md.",
+			len(got), gotSum, len(want), wantSum)
+	}
+}
+
+// TestGoldenModelDecodes: the committed artifact stays decodable and
+// validated by the current code, and serves a mid-grid query.
+func TestGoldenModelDecodes(t *testing.T) {
+	blob, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cells(); got != 65 {
+		t.Errorf("golden cells = %d, want 65", got)
+	}
+	ans, err := m.Eval(Query{
+		Year: 2005, RPM: 13000, Platters: 1, FormFactor: "3.5-inch", Workload: "TPC-C",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range [4]float64{ans.TempC, ans.IDRMBps, ans.MeanMillis, ans.P95Millis} {
+		if v <= 0 {
+			t.Errorf("channel %s = %v, want positive", Channels[i], v)
+		}
+	}
+}

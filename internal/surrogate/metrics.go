@@ -1,0 +1,51 @@
+package surrogate
+
+import "repro/internal/obs"
+
+// queryLatencyEdgesUS buckets surrogate query latency in microseconds; the
+// fast path should land entirely in the sub-microsecond bucket, with
+// fallback-to-exact queries filling the millisecond tail.
+var queryLatencyEdgesUS = []float64{1, 5, 25, 100, 1000, 10000, 100000, 1000000}
+
+// Metrics is the serving-side instrument set. All series are volatile
+// (they describe traffic against this process, not the simulated machine)
+// and are pre-registered so every series exists at zero from the first
+// scrape — the fallback counters in particular must be observable before
+// the first miss.
+type Metrics struct {
+	// Queries counts every query answered, fast path or fallback.
+	Queries *obs.Counter
+
+	// Hits counts queries answered by the interpolation fast path.
+	Hits *obs.Counter
+
+	// Fallbacks counts queries answered by the exact engine, by reason:
+	// "out_of_hull", "no_model", "error_bound", "forced".
+	Fallbacks         *obs.Counter
+	FallbackOutOfHull *obs.Counter
+	FallbackNoModel   *obs.Counter
+	FallbackErrBound  *obs.Counter
+	FallbackForced    *obs.Counter
+
+	// QueryLatencyUS observes per-query wall time in microseconds.
+	QueryLatencyUS *obs.Histogram
+
+	// Trainings counts models trained and installed.
+	Trainings *obs.Counter
+}
+
+// NewMetrics registers the surrogate series on a registry (nil-safe: a nil
+// registry yields disabled zero-alloc instruments, matching obs idiom).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Queries:           reg.VolatileCounter("surrogate_queries_total"),
+		Hits:              reg.VolatileCounter("surrogate_hits_total"),
+		Fallbacks:         reg.VolatileCounter("surrogate_fallbacks_total"),
+		FallbackOutOfHull: reg.VolatileCounter("surrogate_fallbacks_by_reason_total", "reason", "out_of_hull"),
+		FallbackNoModel:   reg.VolatileCounter("surrogate_fallbacks_by_reason_total", "reason", "no_model"),
+		FallbackErrBound:  reg.VolatileCounter("surrogate_fallbacks_by_reason_total", "reason", "error_bound"),
+		FallbackForced:    reg.VolatileCounter("surrogate_fallbacks_by_reason_total", "reason", "forced"),
+		QueryLatencyUS:    reg.VolatileHistogram("surrogate_query_latency_us", queryLatencyEdgesUS),
+		Trainings:         reg.VolatileCounter("surrogate_trainings_total"),
+	}
+}

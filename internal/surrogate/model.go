@@ -1,0 +1,255 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted surrogate: per-channel value tables over the training
+// grid plus the interpolation rule. The JSON field order (Go struct order)
+// and full-precision float round-tripping make the encoded artifact
+// byte-deterministic for a given training configuration.
+//
+// Table shapes:
+//
+//	TempC[h][r]     — hardware combination h, RPM node r (year-independent)
+//	IDR[y][r]       — year node y, RPM node r (hardware/workload-independent)
+//	MeanMS[w][y][r] — workload w, year node y, RPM node r
+//	P95MS[w][y][r]  — likewise
+type Model struct {
+	// Trainer provenance: the exact-engine knobs the grid was sampled
+	// with. A fallback engine built from these answers queries on exactly
+	// the same footing as the trainer did.
+	Diameter float64 `json:"diameter_in"`
+	Zones    int     `json:"zones"`
+	Requests int     `json:"requests"`
+
+	// Refine enables quadratic (3-point Lagrange) interpolation along the
+	// RPM axis; off means piecewise multilinear everywhere.
+	Refine bool `json:"refine"`
+
+	Years     []int      `json:"years"`
+	RPMs      []float64  `json:"rpms"`
+	Hardware  []Hardware `json:"hardware"`
+	Workloads []string   `json:"workloads"`
+
+	TempC  [][]float64   `json:"temp_c"`
+	IDR    [][]float64   `json:"idr_mbps"`
+	MeanMS [][][]float64 `json:"mean_ms"`
+	P95MS  [][][]float64 `json:"p95_ms"`
+
+	// CV is the cross-validation report computed at training time.
+	CV Report `json:"cv"`
+}
+
+// Eval answers a query by interpolation. It allocates nothing and returns
+// ErrOutOfHull for any query the trained grid does not cover (unknown
+// hardware or workload, or year/RPM beyond the grid edges).
+func (m *Model) Eval(q Query) (Answer, error) {
+	hw := -1
+	for i := range m.Hardware {
+		if m.Hardware[i].Platters == q.Platters && m.Hardware[i].FormFactor == q.FormFactor {
+			hw = i
+			break
+		}
+	}
+	if hw < 0 {
+		return Answer{}, ErrOutOfHull
+	}
+	wl := -1
+	for i := range m.Workloads {
+		if m.Workloads[i] == q.Workload {
+			wl = i
+			break
+		}
+	}
+	if wl < 0 {
+		return Answer{}, ErrOutOfHull
+	}
+	y := float64(q.Year)
+	if y < float64(m.Years[0]) || y > float64(m.Years[len(m.Years)-1]) ||
+		q.RPM < m.RPMs[0] || q.RPM > m.RPMs[len(m.RPMs)-1] {
+		return Answer{}, ErrOutOfHull
+	}
+
+	yi, yt := locateYear(m.Years, q.Year)
+	var a Answer
+	a.TempC = m.alongRPM(m.TempC[hw], q.RPM)
+	a.IDRMBps = m.blendYears(m.IDR, yi, yt, q.RPM)
+	a.MeanMillis = m.blendYears(m.MeanMS[wl], yi, yt, q.RPM)
+	a.P95Millis = m.blendYears(m.P95MS[wl], yi, yt, q.RPM)
+	return a, nil
+}
+
+// blendYears interpolates a [year][rpm] table: along RPM within the two
+// bracketing year rows, then linearly across the year gap.
+func (m *Model) blendYears(rows [][]float64, yi int, yt, rpm float64) float64 {
+	v0 := m.alongRPM(rows[yi], rpm)
+	if yt == 0 {
+		return v0
+	}
+	v1 := m.alongRPM(rows[yi+1], rpm)
+	return v0 + yt*(v1-v0)
+}
+
+// alongRPM interpolates one RPM row: piecewise linear, or a quadratic
+// Lagrange stencil when the model was trained with refinement.
+func (m *Model) alongRPM(row []float64, rpm float64) float64 {
+	i, t := locate(m.RPMs, rpm)
+	if !m.Refine || len(m.RPMs) < 3 {
+		return row[i] + t*(row[i+1]-row[i])
+	}
+	// Pick the 3-point stencil centred on the query: shift left when the
+	// query sits in the lower half of an interior segment.
+	s := i
+	if t < 0.5 && i > 0 {
+		s = i - 1
+	}
+	if s+2 >= len(m.RPMs) {
+		s = len(m.RPMs) - 3
+	}
+	x0, x1, x2 := m.RPMs[s], m.RPMs[s+1], m.RPMs[s+2]
+	y0, y1, y2 := row[s], row[s+1], row[s+2]
+	l0 := (rpm - x1) * (rpm - x2) / ((x0 - x1) * (x0 - x2))
+	l1 := (rpm - x0) * (rpm - x2) / ((x1 - x0) * (x1 - x2))
+	l2 := (rpm - x0) * (rpm - x1) / ((x2 - x0) * (x2 - x1))
+	return y0*l0 + y1*l1 + y2*l2
+}
+
+// locate finds the segment index i with xs[i] <= x <= xs[i+1] and the
+// fractional position t within it. x must already be inside the hull.
+func locate(xs []float64, x float64) (int, float64) {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if xs[lo+1] == xs[lo] {
+		return lo, 0
+	}
+	return lo, (x - xs[lo]) / (xs[lo+1] - xs[lo])
+}
+
+// locateYear is locate over the integer year axis.
+func locateYear(ys []int, year int) (int, float64) {
+	lo, hi := 0, len(ys)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ys[mid] <= year {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if ys[lo+1] == ys[lo] {
+		return lo, 0
+	}
+	return lo, float64(year-ys[lo]) / float64(ys[lo+1]-ys[lo])
+}
+
+// Validate checks structural and numeric integrity: axis ordering, table
+// dimensions, and finiteness of every stored value. Decode refuses any
+// artifact that fails it, mirroring the journal's corrupt-refuse contract.
+func (m *Model) Validate() error {
+	switch {
+	case len(m.Years) < 2:
+		return fmt.Errorf("%w: %d year nodes (need >= 2)", ErrInvalid, len(m.Years))
+	case len(m.RPMs) < 2:
+		return fmt.Errorf("%w: %d rpm nodes (need >= 2)", ErrInvalid, len(m.RPMs))
+	case len(m.Hardware) == 0:
+		return fmt.Errorf("%w: no hardware combinations", ErrInvalid)
+	case len(m.Workloads) == 0:
+		return fmt.Errorf("%w: no workloads", ErrInvalid)
+	case m.Requests < 1 || m.Zones < 1:
+		return fmt.Errorf("%w: requests %d / zones %d", ErrInvalid, m.Requests, m.Zones)
+	case m.Diameter <= 0 || m.Diameter > 10 || math.IsNaN(m.Diameter):
+		return fmt.Errorf("%w: diameter %v", ErrInvalid, m.Diameter)
+	}
+	for i := 1; i < len(m.Years); i++ {
+		if m.Years[i] <= m.Years[i-1] {
+			return fmt.Errorf("%w: years not strictly ascending at %d", ErrInvalid, i)
+		}
+	}
+	for i, r := range m.RPMs {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return fmt.Errorf("%w: rpms[%d] = %v not finite and positive", ErrInvalid, i, r)
+		}
+		if i > 0 && r <= m.RPMs[i-1] {
+			return fmt.Errorf("%w: rpms not strictly ascending at %d", ErrInvalid, i)
+		}
+	}
+	for i, h := range m.Hardware {
+		if h.Platters < 1 || h.Platters > 12 {
+			return fmt.Errorf("%w: hardware[%d] platters %d", ErrInvalid, i, h.Platters)
+		}
+		if _, err := ParseFormFactor(h.FormFactor); err != nil {
+			return fmt.Errorf("%w: hardware[%d]: %v", ErrInvalid, i, err)
+		}
+	}
+	for i, w := range m.Workloads {
+		if w == "" {
+			return fmt.Errorf("%w: workloads[%d] empty", ErrInvalid, i)
+		}
+	}
+	nY, nR := len(m.Years), len(m.RPMs)
+	if err := checkGrid("temp_c", m.TempC, len(m.Hardware), nR); err != nil {
+		return err
+	}
+	if err := checkGrid("idr_mbps", m.IDR, nY, nR); err != nil {
+		return err
+	}
+	if err := checkCube("mean_ms", m.MeanMS, len(m.Workloads), nY, nR); err != nil {
+		return err
+	}
+	if err := checkCube("p95_ms", m.P95MS, len(m.Workloads), nY, nR); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkGrid(name string, rows [][]float64, nRows, nCols int) error {
+	if len(rows) != nRows {
+		return fmt.Errorf("%w: %s has %d rows (want %d)", ErrInvalid, name, len(rows), nRows)
+	}
+	for i, r := range rows {
+		if len(r) != nCols {
+			return fmt.Errorf("%w: %s[%d] has %d cols (want %d)", ErrInvalid, name, i, len(r), nCols)
+		}
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: %s[%d][%d] not finite", ErrInvalid, name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCube(name string, cube [][][]float64, n, nRows, nCols int) error {
+	if len(cube) != n {
+		return fmt.Errorf("%w: %s has %d planes (want %d)", ErrInvalid, name, len(cube), n)
+	}
+	for i, plane := range cube {
+		if err := checkGrid(fmt.Sprintf("%s[%d]", name, i), plane, nRows, nCols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExactConfig returns the exact-engine configuration the model was trained
+// with, so a serving-side fallback matches the trainer bit for bit.
+func (m *Model) ExactConfig() ExactConfig {
+	return ExactConfig{Requests: m.Requests, Zones: m.Zones, Diameter: m.Diameter}
+}
+
+// Cells reports the total number of sampled grid cells (for reports).
+func (m *Model) Cells() int {
+	temp := len(m.Hardware) * len(m.RPMs)
+	idr := len(m.Years) * len(m.RPMs)
+	lat := len(m.Workloads) * len(m.Years) * len(m.RPMs)
+	return temp + idr + lat
+}

@@ -1,0 +1,50 @@
+package surrogate
+
+// ChannelError is the cross-validation error of one output channel:
+// relative errors |surrogate − exact| / max(|exact|, floor) aggregated over
+// a probe set.
+type ChannelError struct {
+	Channel string  `json:"channel"`
+	MaxRel  float64 `json:"max_rel"`
+	MeanRel float64 `json:"mean_rel"`
+}
+
+// FoldReport is one held-out probe batch.
+type FoldReport struct {
+	Fold     int            `json:"fold"`
+	Probes   int            `json:"probes"`
+	Channels []ChannelError `json:"channels"`
+}
+
+// Report is a model's complete cross-validation record: per-fold and
+// overall max/mean relative error for every output channel, plus the probe
+// seed so the validation is reproducible.
+type Report struct {
+	Seed    int64          `json:"seed"`
+	Probes  int            `json:"probes"`
+	Folds   []FoldReport   `json:"folds"`
+	Overall []ChannelError `json:"overall"`
+}
+
+// MaxRel returns the worst relative error across all channels — the single
+// number train-smoke gates on.
+func (r Report) MaxRel() float64 {
+	var m float64
+	for _, c := range r.Overall {
+		if c.MaxRel > m {
+			m = c.MaxRel
+		}
+	}
+	return m
+}
+
+// Channel returns the overall error for a named channel (zero value if the
+// report lacks it).
+func (r Report) Channel(name string) ChannelError {
+	for _, c := range r.Overall {
+		if c.Channel == name {
+			return c
+		}
+	}
+	return ChannelError{Channel: name}
+}

@@ -1,0 +1,115 @@
+// Package surrogate distills the exact roadmap engine into an
+// instant-answer interpolation model, the train→serve→verify loop of an
+// inference stack in miniature.
+//
+// The exact path (Exact.Solve) answers one roadmap query — steady-state
+// temperature, internal data rate, and mean/p95 response time for a
+// (year, RPM, platters, form factor, workload) point — by running the full
+// simulator stack: the 4-node thermal network, the recording-layout
+// derivation, and a deterministic trace replay through the disk/RAID
+// simulator. That costs milliseconds to seconds per point. Train samples
+// the exact engine over a deterministic grid via internal/parallel, fits a
+// multilinear (optionally quadratic-refined) interpolant per output
+// channel, and cross-validates the fit on seeded held-out probe points the
+// grid never saw. The fitted Model answers queries in well under a
+// microsecond with zero allocations, carries its cross-validation error
+// report, and serializes to a versioned, checksummed, byte-deterministic
+// artifact (Encode/Decode) suitable for golden-pinning.
+//
+// Queries outside the trained hull return ErrOutOfHull so callers can fall
+// back to the exact engine; the serving layer (internal/server) counts
+// those fallbacks so the fast path is never silently wrong.
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Channel names, in the fixed order used by cross-validation reports.
+const (
+	ChannelTemp = "temp_c"
+	ChannelIDR  = "idr_mbps"
+	ChannelMean = "mean_ms"
+	ChannelP95  = "p95_ms"
+)
+
+// Channels lists every output channel in report order.
+var Channels = [4]string{ChannelTemp, ChannelIDR, ChannelMean, ChannelP95}
+
+// ErrOutOfHull reports a query outside the trained grid — an unknown
+// hardware combination or workload, or a year/RPM beyond the grid edges.
+// Callers should answer such queries with the exact engine instead.
+var ErrOutOfHull = errors.New("surrogate: query outside trained hull")
+
+// Query is one roadmap point: the drive design (year picks the recording
+// densities, RPM the spindle speed, platters+form factor the mechanical
+// build) and the workload whose latency is wanted.
+type Query struct {
+	Year       int     `json:"year"`
+	RPM        float64 `json:"rpm"`
+	Platters   int     `json:"platters"`
+	FormFactor string  `json:"form_factor"`
+	Workload   string  `json:"workload"`
+}
+
+// Validate bounds the query to the range both engines can evaluate.
+func (q Query) Validate() error {
+	switch {
+	case q.Year < 1990 || q.Year > 2050:
+		return fmt.Errorf("surrogate: year %d outside [1990, 2050]", q.Year)
+	case q.RPM <= 0 || q.RPM > 100000:
+		return fmt.Errorf("surrogate: rpm %v outside (0, 100000]", q.RPM)
+	case q.Platters < 1 || q.Platters > 12:
+		return fmt.Errorf("surrogate: platters %d outside [1, 12]", q.Platters)
+	case q.Workload == "":
+		return errors.New("surrogate: empty workload")
+	}
+	if _, err := ParseFormFactor(q.FormFactor); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Answer is the four output channels of one query.
+type Answer struct {
+	TempC      float64 `json:"temp_c"`
+	IDRMBps    float64 `json:"idr_mbps"`
+	MeanMillis float64 `json:"mean_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+}
+
+// channel returns the i'th channel value in Channels order.
+func (a Answer) channel(i int) float64 {
+	switch i {
+	case 0:
+		return a.TempC
+	case 1:
+		return a.IDRMBps
+	case 2:
+		return a.MeanMillis
+	default:
+		return a.P95Millis
+	}
+}
+
+// Hardware is one (platter count, form factor) combination of the grid.
+type Hardware struct {
+	Platters   int    `json:"platters"`
+	FormFactor string `json:"form_factor"`
+}
+
+// ParseFormFactor maps the wire name (geometry.FormFactor.String()) back to
+// the enum. Unknown names are an error, not a guess.
+func ParseFormFactor(s string) (geometry.FormFactor, error) {
+	for _, f := range []geometry.FormFactor{
+		geometry.FormFactor35, geometry.FormFactor25, geometry.FormFactor35Tall,
+	} {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("surrogate: unknown form factor %q", s)
+}

@@ -1,0 +1,285 @@
+package surrogate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// tinyConfig is a fast training grid shared by the package tests: one
+// hardware combination, two workloads, 2×3 (year, RPM) nodes, short
+// replays, and a small CV probe set.
+func tinyConfig() TrainConfig {
+	return TrainConfig{
+		Years:     []int{2002, 2006},
+		RPMs:      []float64{10000, 15000, 20000},
+		Hardware:  []Hardware{{Platters: 1, FormFactor: geometry.FormFactor35.String()}},
+		Workloads: []string{"TPC-C", "Search-Engine"},
+		Requests:  200,
+		Folds:     2,
+		Probes:    3,
+	}
+}
+
+func mustTrain(t *testing.T, cfg TrainConfig) *Model {
+	t.Helper()
+	m, err := Train(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m
+}
+
+func TestExactSolveFinite(t *testing.T) {
+	e, err := NewExact(ExactConfig{Requests: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Solve(Query{
+		Year: 2004, RPM: 15000, Platters: 1,
+		FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		v := a.channel(i)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("channel %s = %v, want finite positive", Channels[i], v)
+		}
+	}
+	if a.TempC < 25 || a.TempC > 150 {
+		t.Errorf("TempC = %v, outside plausible range", a.TempC)
+	}
+	if a.P95Millis < a.MeanMillis*0.5 {
+		t.Errorf("p95 %v implausibly below mean %v", a.P95Millis, a.MeanMillis)
+	}
+}
+
+func TestExactSolveRejectsBadQueries(t *testing.T) {
+	e, err := NewExact(ExactConfig{Requests: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Query{Year: 2004, RPM: 15000, Platters: 1,
+		FormFactor: geometry.FormFactor35.String(), Workload: "TPC-C"}
+	for name, mut := range map[string]func(Query) Query{
+		"year":     func(q Query) Query { q.Year = 1800; return q },
+		"rpm":      func(q Query) Query { q.RPM = -1; return q },
+		"platters": func(q Query) Query { q.Platters = 0; return q },
+		"ff":       func(q Query) Query { q.FormFactor = "9-inch"; return q },
+		"workload": func(q Query) Query { q.Workload = "nope"; return q },
+	} {
+		if _, err := e.Solve(mut(ok)); err == nil {
+			t.Errorf("%s: bad query accepted", name)
+		}
+	}
+	// Too many platters for the 2.5" enclosure must fail geometry checks.
+	q := ok
+	q.Platters = 8
+	q.FormFactor = geometry.FormFactor25.String()
+	if _, err := e.Solve(q); err == nil {
+		t.Error("8 platters in 2.5-inch accepted")
+	}
+}
+
+func TestTrainByteIdenticalAcrossWorkers(t *testing.T) {
+	var streams [2][]Cell
+	var blobs [2][]byte
+	for i, workers := range []int{1, 4} {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		m, err := Train(context.Background(), cfg, func(c Cell) error {
+			streams[i] = append(streams[i], c)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if blobs[i], err = Encode(m); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Error("model artifact differs between workers=1 and workers=4")
+	}
+	if !reflect.DeepEqual(streams[0], streams[1]) {
+		t.Error("training cell stream differs between workers=1 and workers=4")
+	}
+	// The cell stream covers the whole grid in order.
+	cfg := tinyConfig()
+	wantCells := len(cfg.Hardware)*len(cfg.RPMs) + len(cfg.Workloads)*len(cfg.Years)*len(cfg.RPMs)
+	if len(streams[0]) != wantCells {
+		t.Errorf("got %d cells, want %d", len(streams[0]), wantCells)
+	}
+}
+
+func TestModelEvalHitsGridNodes(t *testing.T) {
+	m := mustTrain(t, tinyConfig())
+	for yi, year := range m.Years {
+		for ri, rpm := range m.RPMs {
+			q := Query{Year: year, RPM: rpm, Platters: m.Hardware[0].Platters,
+				FormFactor: m.Hardware[0].FormFactor, Workload: m.Workloads[1]}
+			a, err := m.Eval(q)
+			if err != nil {
+				t.Fatalf("node (%d, %v): %v", year, rpm, err)
+			}
+			if got, want := a.TempC, m.TempC[0][ri]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("node (%d, %v): temp %v, table %v", year, rpm, got, want)
+			}
+			if got, want := a.IDRMBps, m.IDR[yi][ri]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("node (%d, %v): idr %v, table %v", year, rpm, got, want)
+			}
+			if got, want := a.MeanMillis, m.MeanMS[1][yi][ri]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("node (%d, %v): mean %v, table %v", year, rpm, got, want)
+			}
+		}
+	}
+}
+
+func TestModelEvalMatchesExactAtNodes(t *testing.T) {
+	m := mustTrain(t, tinyConfig())
+	e, err := NewExact(m.ExactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Year: m.Years[0], RPM: m.RPMs[1], Platters: m.Hardware[0].Platters,
+		FormFactor: m.Hardware[0].FormFactor, Workload: m.Workloads[0]}
+	sur, err := m.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sur, exact) {
+		t.Errorf("grid-node eval %+v != exact %+v", sur, exact)
+	}
+}
+
+func TestEvalOutOfHull(t *testing.T) {
+	m := mustTrain(t, tinyConfig())
+	in := Query{Year: 2004, RPM: 12000, Platters: m.Hardware[0].Platters,
+		FormFactor: m.Hardware[0].FormFactor, Workload: m.Workloads[0]}
+	if _, err := m.Eval(in); err != nil {
+		t.Fatalf("in-hull query rejected: %v", err)
+	}
+	for name, mut := range map[string]func(Query) Query{
+		"year-low":  func(q Query) Query { q.Year = 2001; return q },
+		"year-high": func(q Query) Query { q.Year = 2007; return q },
+		"rpm-low":   func(q Query) Query { q.RPM = 9999; return q },
+		"rpm-high":  func(q Query) Query { q.RPM = 20001; return q },
+		"hardware":  func(q Query) Query { q.Platters = 4; return q },
+		"form":      func(q Query) Query { q.FormFactor = geometry.FormFactor25.String(); return q },
+		"workload":  func(q Query) Query { q.Workload = "TPC-H"; return q },
+	} {
+		if _, err := m.Eval(mut(in)); !errors.Is(err, ErrOutOfHull) {
+			t.Errorf("%s: got %v, want ErrOutOfHull", name, err)
+		}
+	}
+}
+
+func TestCVReport(t *testing.T) {
+	cfg := tinyConfig()
+	m := mustTrain(t, cfg)
+	if len(m.CV.Folds) != cfg.Folds {
+		t.Fatalf("got %d folds, want %d", len(m.CV.Folds), cfg.Folds)
+	}
+	if len(m.CV.Overall) != 4 {
+		t.Fatalf("got %d overall channels, want 4", len(m.CV.Overall))
+	}
+	for i, c := range m.CV.Overall {
+		if c.Channel != Channels[i] {
+			t.Errorf("overall[%d] channel %q, want %q", i, c.Channel, Channels[i])
+		}
+		if math.IsNaN(c.MaxRel) || c.MaxRel < 0 || c.MeanRel > c.MaxRel {
+			t.Errorf("channel %s: bad error stats %+v", c.Channel, c)
+		}
+	}
+	// The interpolant must track the exact engine to within a loose bound
+	// even on this tiny grid; a blow-up means the fit is broken.
+	if max := m.CV.MaxRel(); max > 0.5 {
+		t.Errorf("CV max relative error %v implausibly large", max)
+	}
+	if m.CV.Channel(ChannelTemp).MaxRel > 0.05 {
+		t.Errorf("temperature channel error %v above 5%%", m.CV.Channel(ChannelTemp).MaxRel)
+	}
+}
+
+func TestTrainConfigRejected(t *testing.T) {
+	base := tinyConfig()
+	for name, mut := range map[string]func(TrainConfig) TrainConfig{
+		"one-year":   func(c TrainConfig) TrainConfig { c.Years = []int{2002}; return c },
+		"one-rpm":    func(c TrainConfig) TrainConfig { c.RPMs = []float64{10000}; return c },
+		"no-hw":      func(c TrainConfig) TrainConfig { c.Hardware = nil; return c },
+		"no-wl":      func(c TrainConfig) TrainConfig { c.Workloads = nil; return c },
+		"dup-year":   func(c TrainConfig) TrainConfig { c.Years = []int{2002, 2002}; return c },
+		"desc-rpm":   func(c TrainConfig) TrainConfig { c.RPMs = []float64{15000, 10000}; return c },
+		"bad-ff":     func(c TrainConfig) TrainConfig { c.Hardware[0].FormFactor = "x"; return c },
+		"bad-probes": func(c TrainConfig) TrainConfig { c.Probes = -1; return c },
+	} {
+		if _, err := Train(context.Background(), mut(base), nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRefineQuadraticExactOnQuadratics(t *testing.T) {
+	// A quadratic-refined model must reproduce a quadratic function of RPM
+	// exactly (up to float rounding) between nodes.
+	f := func(x float64) float64 { return 2 + 3*x + 0.5*x*x }
+	rpms := []float64{10000, 14000, 20000, 26000}
+	row := make([]float64, len(rpms))
+	for i, x := range rpms {
+		row[i] = f(x / 1000)
+	}
+	m := &Model{Refine: true, RPMs: rpms}
+	for _, x := range []float64{11000, 13999, 17000, 23000, 25999} {
+		got := m.alongRPM(row, x)
+		want := f(x / 1000)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("refined interp at %v = %v, want %v", x, got, want)
+		}
+	}
+	// Linear mode on the same row is NOT exact mid-segment — the refined
+	// path must actually be doing something different.
+	m.Refine = false
+	lin := m.alongRPM(row, 17000)
+	if math.Abs(lin-f(17.0)) < 1e-9 {
+		t.Error("linear path unexpectedly exact on a quadratic")
+	}
+}
+
+func TestEvalZeroAllocs(t *testing.T) {
+	m := mustTrain(t, tinyConfig())
+	q := Query{Year: 2004, RPM: 13777, Platters: m.Hardware[0].Platters,
+		FormFactor: m.Hardware[0].FormFactor, Workload: m.Workloads[1]}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := m.Eval(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Eval allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestParseFormFactor(t *testing.T) {
+	for _, f := range []geometry.FormFactor{
+		geometry.FormFactor35, geometry.FormFactor25, geometry.FormFactor35Tall,
+	} {
+		got, err := ParseFormFactor(f.String())
+		if err != nil || got != f {
+			t.Errorf("round-trip %v: got %v, %v", f, got, err)
+		}
+	}
+	if _, err := ParseFormFactor("5.25-inch"); err == nil {
+		t.Error("unknown form factor accepted")
+	}
+}
